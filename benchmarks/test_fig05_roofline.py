@@ -1,0 +1,60 @@
+"""Figure 5(c): roofline analysis — achieved TFLOPS vs batch size.
+
+Speculative decoding processes ``tokens_to_verify+1`` tokens per forward,
+so it reaches peak compute throughput at a much smaller batch size than
+vanilla decoding (the paper's gray arrow).
+"""
+
+from __future__ import annotations
+
+from _common import format_table, write_result
+from repro.hardware import RooflineModel, get_gpu, get_model
+
+BATCHES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 320]
+
+
+def test_fig05_roofline(benchmark):
+    roofline = RooflineModel(
+        model=get_model("Qwen2.5-7B"), gpu=get_gpu("H100")
+    )
+
+    def sweep():
+        vanilla = [
+            roofline.achieved_tflops(roofline.forward_cost(b, 1))
+            for b in BATCHES
+        ]
+        spec = [
+            roofline.achieved_tflops(roofline.forward_cost(b, 49))
+            for b in BATCHES
+        ]
+        return vanilla, spec
+
+    vanilla, spec = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    peak = roofline.gpu.effective_tflops
+    rows = [
+        [b, f"{v:.0f}", f"{s:.0f}"]
+        for b, v, s in zip(BATCHES, vanilla, spec)
+    ]
+    table = format_table(
+        ["batch", "vanilla TFLOPS", "spec-dec TFLOPS"], rows
+    )
+    write_result(
+        "fig05_roofline",
+        table + f"\n\nachievable peak: {peak:.0f} TFLOPS",
+    )
+
+    # SD saturates the GPU at far smaller batch (the gray arrow).
+    def first_saturated(series):
+        for b, value in zip(BATCHES, series):
+            if value >= 0.9 * peak:
+                return b
+        return None
+
+    sd_ridge = first_saturated(spec)
+    vanilla_ridge = first_saturated(vanilla)
+    assert sd_ridge is not None
+    assert vanilla_ridge is None or sd_ridge < vanilla_ridge
+    # Monotone growth toward the roof.
+    assert vanilla == sorted(vanilla)
+    assert spec[-1] <= peak * 1.01

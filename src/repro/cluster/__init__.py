@@ -1,0 +1,23 @@
+"""Cluster-level discrete simulation of RL training steps.
+
+Combines the per-worker rollout engine, the worker coordinator and the
+roofline cost model into full RL-step timelines (rollout → inference →
+training, Figure 1b / Figure 8), including idle-bubble harvesting for
+spot drafter training.
+"""
+
+from repro.cluster.simulator import (
+    ClusterSpec,
+    RlStepSimulator,
+    StepResult,
+    StepWorkload,
+    WorkerSegment,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "StepWorkload",
+    "RlStepSimulator",
+    "StepResult",
+    "WorkerSegment",
+]

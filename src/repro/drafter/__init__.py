@@ -1,0 +1,32 @@
+"""Draft models (paper §4) and their unified training framework.
+
+Provides the learned single-layer drafters (EAGLE, HASS, EAGLE-3 training
+strategies), the model-free n-gram retrieval drafter (§5.3), OSD-style
+distillation, and the unified trainer that consumes cached target hidden
+states exactly as the paper's spot trainer does.
+"""
+
+from repro.drafter.base import Drafter, DrafterState
+from repro.drafter.eagle import EagleDrafter, EagleDrafterConfig
+from repro.drafter.ngram import NgramDrafter, NgramDrafterConfig
+from repro.drafter.training import (
+    DrafterTrainer,
+    DrafterTrainingConfig,
+    TrainingBatch,
+    TrainingStrategy,
+    evaluate_topk_accuracy,
+)
+
+__all__ = [
+    "Drafter",
+    "DrafterState",
+    "EagleDrafter",
+    "EagleDrafterConfig",
+    "NgramDrafter",
+    "NgramDrafterConfig",
+    "DrafterTrainer",
+    "DrafterTrainingConfig",
+    "TrainingBatch",
+    "TrainingStrategy",
+    "evaluate_topk_accuracy",
+]

@@ -1,0 +1,79 @@
+"""Drafter protocol consumed by the speculative-decoding engine.
+
+A drafter proposes next-token distributions cheaply.  The engine drives it
+through three calls:
+
+* :meth:`Drafter.begin` — start drafting after a verified prefix; learned
+  drafters receive the target model's exact hidden state at the second-to-
+  last position (the EAGLE hand-off), retrieval drafters ignore it.
+* :meth:`Drafter.propose` — the distribution of the next token given the
+  current drafting state (pure; does not mutate state).
+* :meth:`Drafter.extend` — append a chosen token, returning the successor
+  state (this is where learned drafters run their single decoder layer).
+
+States are immutable from the engine's perspective, which is what lets the
+tree builder branch one parent state into ``topk`` children.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+DrafterState = Any
+"""Opaque per-branch drafting state (drafter-specific)."""
+
+
+class Drafter(abc.ABC):
+    """Interface every draft model implements."""
+
+    #: Human-readable identifier used in benchmark tables.
+    name: str = "drafter"
+
+    @abc.abstractmethod
+    def begin(
+        self,
+        prefix_tokens: Sequence[int],
+        last_hidden: Optional[np.ndarray],
+    ) -> DrafterState:
+        """Create the drafting state for a sequence ending in ``prefix``.
+
+        Args:
+            prefix_tokens: the full current sequence (prompt + accepted
+                tokens); the last entry is the most recent committed token.
+            last_hidden: the target model's exact top-layer hidden state at
+                the *second-to-last* position (the state that generated the
+                last token), or ``None`` when unavailable (sequence shorter
+                than two tokens, or a model-free drafter).
+
+        Returns:
+            A state from which :meth:`propose` yields the distribution of
+            the first new token.
+        """
+
+    @abc.abstractmethod
+    def propose(
+        self, state: DrafterState, temperature: float
+    ) -> np.ndarray:
+        """Next-token distribution (shape ``(V,)``) for ``state``."""
+
+    @abc.abstractmethod
+    def extend(self, state: DrafterState, token: int) -> DrafterState:
+        """Successor state after appending ``token`` to the draft branch."""
+
+    def observe_rollouts(
+        self, sequences: Sequence[Sequence[int]]
+    ) -> None:
+        """Hook: ingest finished rollout responses.
+
+        Retrieval-based drafters refresh their n-gram database here; learned
+        drafters are trained through :mod:`repro.drafter.training` instead
+        and ignore this.
+        """
+
+    @property
+    def trainable(self) -> bool:
+        """Whether this drafter has weights updated by the spot trainer."""
+        return False

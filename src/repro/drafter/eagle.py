@@ -1,0 +1,268 @@
+"""EAGLE-style learned single-layer drafter (paper §4.1).
+
+The drafter mirrors the target architecture but carries **one** trainable
+decoder block.  It reuses the target model's embedding / LM-head weights
+(tied, frozen — so head updates made by RL are visible to the drafter for
+free) and consumes the target's hidden states:
+
+* input feature: the fused target hidden stack at the previous position
+  (EAGLE fuses only the top layer; EAGLE-3 fuses bottom/middle/top) —
+  projected to the hidden size by a lightweight linear layer, exactly the
+  "dimension reduction" step of Figure 7;
+* cell: ``z = W_r [s; e(token)] + b_r`` followed by a residual FFN block
+  with expansion (``h = z + tanh(z W_1^T + b_1) W_2^T``) — the single
+  decoder layer, including the usual 4x feed-forward widening;
+* head: tied target embedding, ``logits = h E^T``.
+
+When drafting several tokens ahead the cell feeds its own output hidden
+back in, which is where approximation error accumulates and why acceptance
+decays with draft depth (Figure 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.drafter.base import Drafter
+from repro.errors import DrafterError
+from repro.llm.model import TinyLM
+from repro.llm.params import ParamSet
+from repro.llm.sampler import temperature_probs
+
+
+@dataclass(frozen=True)
+class EagleDrafterConfig:
+    """Structural configuration of an :class:`EagleDrafter`.
+
+    Attributes:
+        fused_layers: indices into the target's hidden stack that form the
+            input feature.  ``(-1,)`` is EAGLE (top layer only);
+            ``(0, mid, -1)`` is the EAGLE-3 fusion.
+        ffn_multiplier: feed-forward expansion of the single decoder
+            layer (transformer blocks typically use 4x).
+        init_scale: weight-initialisation scale.
+    """
+
+    fused_layers: Tuple[int, ...] = (-1,)
+    ffn_multiplier: int = 4
+    init_scale: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.fused_layers:
+            raise DrafterError("fused_layers must be non-empty")
+        if self.ffn_multiplier < 1:
+            raise DrafterError("ffn_multiplier must be >= 1")
+        if self.init_scale <= 0:
+            raise DrafterError("init_scale must be positive")
+
+
+@dataclass(frozen=True)
+class EagleState:
+    """Immutable drafting state: the drafter's current hidden vector."""
+
+    hidden: np.ndarray  # (d,)
+
+
+class EagleDrafter(Drafter):
+    """Single-decoder-layer learned drafter tied to a target model.
+
+    Args:
+        target: the target model whose embedding/LM head are shared
+            (referenced live, never copied — RL updates flow through).
+        config: fusion/initialisation settings.
+        rng: generator for weight initialisation.
+    """
+
+    name = "eagle"
+
+    def __init__(
+        self,
+        target: TinyLM,
+        config: EagleDrafterConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.target = target
+        self.config = config
+        d = target.config.hidden_size
+        n_fused = len(config.fused_layers)
+        for layer in config.fused_layers:
+            if not -target.num_layers <= layer < target.num_layers:
+                raise DrafterError(
+                    f"fused layer {layer} out of range for "
+                    f"{target.num_layers}-layer target"
+                )
+        scale = config.init_scale
+        f = config.ffn_multiplier * d
+        params = ParamSet()
+        if n_fused > 1:
+            params["w_fuse"] = rng.normal(
+                0.0, scale / np.sqrt(n_fused * d), size=(d, n_fused * d)
+            )
+            params["b_fuse"] = np.zeros(d)
+        params["w_r"] = rng.normal(0.0, scale / np.sqrt(2 * d), size=(d, 2 * d))
+        params["b_r"] = np.zeros(d)
+        params["w_up"] = rng.normal(0.0, scale / np.sqrt(d), size=(f, d))
+        params["b_up"] = np.zeros(f)
+        params["w_down"] = rng.normal(0.0, scale / np.sqrt(f), size=(d, f))
+        self.params = params
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def trainable(self) -> bool:
+        return True
+
+    @property
+    def hidden_size(self) -> int:
+        """Hidden width (matches the target)."""
+        return self.target.config.hidden_size
+
+    @property
+    def num_parameters(self) -> int:
+        """Trainable scalar parameters (frozen tied weights excluded)."""
+        return self.params.num_parameters
+
+    def clone(self) -> "EagleDrafter":
+        """Deep copy of the trainable weights (shares the target)."""
+        twin = EagleDrafter(self.target, self.config, np.random.default_rng(0))
+        twin.params = self.params.copy()
+        return twin
+
+    # -- numeric core ------------------------------------------------------
+
+    def fuse(self, hidden_stack: np.ndarray) -> np.ndarray:
+        """Project a target hidden stack to the drafter's input feature.
+
+        Args:
+            hidden_stack: (..., num_layers, d) per-layer target hiddens.
+
+        Returns:
+            (..., d) fused feature.
+        """
+        hidden_stack = np.asarray(hidden_stack, dtype=np.float64)
+        selected = [hidden_stack[..., layer, :]
+                    for layer in self.config.fused_layers]
+        feature = np.concatenate(selected, axis=-1)
+        if "w_fuse" in self.params:
+            feature = feature @ self.params["w_fuse"].T + self.params["b_fuse"]
+        return feature
+
+    def cell(
+        self, state: np.ndarray, token_embed: np.ndarray
+    ) -> np.ndarray:
+        """One decoder-layer step: (..., d) state + (..., d) embedding."""
+        u = np.concatenate([state, token_embed], axis=-1)
+        z = u @ self.params["w_r"].T + self.params["b_r"]
+        a = np.tanh(z @ self.params["w_up"].T + self.params["b_up"])
+        return z + a @ self.params["w_down"].T
+
+    def head_logits(self, hidden: np.ndarray) -> np.ndarray:
+        """Tied LM head: (..., d) hidden -> (..., V) logits."""
+        return hidden @ self.target.params["embed"].T
+
+    # -- Drafter protocol ---------------------------------------------------
+
+    def begin(
+        self,
+        prefix_tokens: Sequence[int],
+        last_hidden: Optional[np.ndarray],
+    ) -> EagleState:
+        d = self.hidden_size
+        if last_hidden is None:
+            fused = np.zeros(d)
+        else:
+            stack = np.asarray(last_hidden, dtype=np.float64)
+            if stack.ndim == 1:
+                # Tolerate a bare top-layer vector by broadcasting it.
+                stack = np.tile(stack, (self.target.num_layers, 1))
+            fused = self.fuse(stack)
+        if not prefix_tokens:
+            raise DrafterError("prefix_tokens must be non-empty")
+        last_token = int(prefix_tokens[-1])
+        embed = self.target.params["embed"][last_token]
+        return EagleState(hidden=self.cell(fused, embed))
+
+    def propose(self, state: EagleState, temperature: float) -> np.ndarray:
+        logits = self.head_logits(state.hidden)
+        return temperature_probs(logits, temperature)
+
+    def extend(self, state: EagleState, token: int) -> EagleState:
+        embed = self.target.params["embed"][int(token)]
+        return EagleState(hidden=self.cell(state.hidden, embed))
+
+    # -- training-time forward/backward ------------------------------------
+
+    def forward_cell_batch(
+        self, states: np.ndarray, tokens: np.ndarray
+    ) -> Tuple[np.ndarray, dict]:
+        """Batched cell forward with cached activations.
+
+        Args:
+            states: (N, d) input states.
+            tokens: (N,) token ids consumed this step.
+
+        Returns:
+            ``(hidden, cache)`` with hidden (N, d).
+        """
+        embed = self.target.params["embed"][np.asarray(tokens)]
+        u = np.concatenate([states, embed], axis=-1)
+        z = u @ self.params["w_r"].T + self.params["b_r"]
+        a = np.tanh(z @ self.params["w_up"].T + self.params["b_up"])
+        hidden = z + a @ self.params["w_down"].T
+        cache = {"u": u, "z": z, "a": a}
+        return hidden, cache
+
+    def backward_cell_batch(
+        self,
+        cache: dict,
+        dhidden: np.ndarray,
+        grads: ParamSet,
+    ) -> np.ndarray:
+        """Backprop one cell step; accumulates into ``grads``.
+
+        Returns:
+            (N, d) gradient w.r.t. the input state (for unrolled BPTT).
+        """
+        a = cache["a"]
+        z = cache["z"]
+        u = cache["u"]
+        # h = z + a W_down^T
+        grads["w_down"] += np.einsum("nd,nf->df", dhidden, a)
+        da = dhidden @ self.params["w_down"]
+        dpre = da * (1.0 - a * a)
+        grads["w_up"] += np.einsum("nf,nd->fd", dpre, z)
+        grads["b_up"] += dpre.sum(axis=0)
+        dz = dhidden + dpre @ self.params["w_up"]
+        grads["w_r"] += np.einsum("nd,ne->de", dz, u)
+        grads["b_r"] += dz.sum(axis=0)
+        du = dz @ self.params["w_r"]
+        d = self.hidden_size
+        return du[:, :d]
+
+    def backward_fuse(
+        self,
+        hidden_stacks: np.ndarray,
+        dfused: np.ndarray,
+        grads: ParamSet,
+    ) -> None:
+        """Backprop through the fusion projection (input features frozen)."""
+        if "w_fuse" not in self.params:
+            return
+        selected = [
+            np.asarray(hidden_stacks)[..., layer, :]
+            for layer in self.config.fused_layers
+        ]
+        feature = np.concatenate(selected, axis=-1)
+        grads["w_fuse"] += np.einsum("nd,ne->de", dfused, feature)
+        grads["b_fuse"] += dfused.sum(axis=0)
+
+    def state_dict(self) -> dict:
+        """Trainable parameters only (tied weights are the target's)."""
+        return self.params.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore trainable parameters."""
+        self.params.load_state_dict(state)

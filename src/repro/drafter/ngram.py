@@ -1,0 +1,146 @@
+"""Model-free n-gram retrieval drafter (paper §5.3).
+
+RL rollouts for the same prompt share heavy token-level structure (math
+notation, code syntax, repeated phrasings).  This drafter exploits that by
+building an n-gram → next-token count database from observed rollout
+responses and proposing the smoothed retrieval distribution.  It requires
+no training, which is why TLT uses it (a) as the ``TLT-Base`` baseline and
+(b) as the fallback during early RL steps before the learned drafter has
+warmed up.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.drafter.base import Drafter
+from repro.errors import DrafterError
+
+
+@dataclass(frozen=True)
+class NgramDrafterConfig:
+    """Configuration of the retrieval drafter.
+
+    Attributes:
+        vocab_size: target vocabulary size (defines proposal support).
+        max_order: longest context length looked up (backs off to shorter
+            contexts, then to unigram counts, then to uniform).
+        smoothing: probability mass mixed with the uniform distribution so
+            proposals keep full support (keeps acceptance-rule ratios
+            finite and the drafter robust to novel contexts).
+        max_entries: cap on stored contexts (oldest evicted first).
+    """
+
+    vocab_size: int
+    max_order: int = 3
+    smoothing: float = 0.05
+    max_entries: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 2:
+            raise DrafterError("vocab_size must be >= 2")
+        if self.max_order < 1:
+            raise DrafterError("max_order must be >= 1")
+        if not 0.0 < self.smoothing < 1.0:
+            raise DrafterError("smoothing must be in (0, 1)")
+        if self.max_entries < 1:
+            raise DrafterError("max_entries must be >= 1")
+
+
+@dataclass(frozen=True)
+class NgramState:
+    """Immutable drafting state: the trailing context tokens."""
+
+    context: Tuple[int, ...]
+
+
+class NgramDrafter(Drafter):
+    """Retrieval-based drafter over a dynamic n-gram database."""
+
+    name = "ngram"
+
+    def __init__(self, config: NgramDrafterConfig) -> None:
+        self.config = config
+        # One table per order: context tuple -> Counter of next tokens.
+        self._tables: Dict[int, Dict[Tuple[int, ...], Counter]] = {
+            order: defaultdict(Counter)
+            for order in range(1, config.max_order + 1)
+        }
+        self._entry_count = 0
+        self._uniform = np.full(
+            config.vocab_size, 1.0 / config.vocab_size
+        )
+
+    # -- database ----------------------------------------------------------
+
+    def observe_rollouts(
+        self, sequences: Sequence[Sequence[int]]
+    ) -> None:
+        """Ingest finished responses into the retrieval database."""
+        for seq in sequences:
+            tokens = [int(t) for t in seq]
+            for order in range(1, self.config.max_order + 1):
+                for start in range(len(tokens) - order):
+                    context = tuple(tokens[start : start + order])
+                    nxt = tokens[start + order]
+                    table = self._tables[order]
+                    if context not in table:
+                        if self._entry_count >= self.config.max_entries:
+                            continue
+                        self._entry_count += 1
+                    table[context][nxt] += 1
+
+    def clear(self) -> None:
+        """Drop the database (e.g. between prompts)."""
+        for table in self._tables.values():
+            table.clear()
+        self._entry_count = 0
+
+    @property
+    def num_contexts(self) -> int:
+        """Number of stored context entries across all orders."""
+        return self._entry_count
+
+    # -- Drafter protocol ----------------------------------------------------
+
+    def begin(
+        self,
+        prefix_tokens: Sequence[int],
+        last_hidden: Optional[np.ndarray],
+    ) -> NgramState:
+        if not prefix_tokens:
+            raise DrafterError("prefix_tokens must be non-empty")
+        tail = tuple(int(t) for t in prefix_tokens[-self.config.max_order:])
+        return NgramState(context=tail)
+
+    def propose(self, state: NgramState, temperature: float) -> np.ndarray:
+        counts = self._lookup(state.context)
+        if counts is None:
+            return self._uniform.copy()
+        probs = counts / counts.sum()
+        eps = self.config.smoothing
+        return (1.0 - eps) * probs + eps * self._uniform
+
+    def extend(self, state: NgramState, token: int) -> NgramState:
+        context = (state.context + (int(token),))[-self.config.max_order:]
+        return NgramState(context=context)
+
+    # -- internals ---------------------------------------------------------
+
+    def _lookup(self, context: Tuple[int, ...]) -> Optional[np.ndarray]:
+        """Longest-match counts for ``context`` with shorter-order backoff."""
+        for order in range(min(len(context), self.config.max_order), 0, -1):
+            key = context[-order:]
+            counter = self._tables[order].get(key)
+            if counter:
+                counts = np.zeros(self.config.vocab_size)
+                for token, count in counter.items():
+                    if 0 <= token < self.config.vocab_size:
+                        counts[token] = count
+                if counts.sum() > 0:
+                    return counts
+        return None

@@ -1,0 +1,411 @@
+"""Unified drafter-training framework (paper §4.1, Figure 7).
+
+All published single-layer drafter training recipes are expressed as
+:class:`TrainingStrategy` values over one pipeline:
+
+========  ==============  ==================  =============  ==========
+Strategy  Hidden states    Loss               Training-time  Rel. cost
+                                               test (unroll)
+========  ==============  ==================  =============  ==========
+EAGLE     top layer        L1 + CE (soft KD)   1 step         1x
+HASS      top layer        L1 + CE (soft KD)   3 steps        3x
+EAGLE-3   bottom/mid/top   CE only             7 steps        7x
+OSD       top layer        reverse-KD CE       1 step         1x
+========  ==============  ==================  =============  ==========
+
+Training data is exactly what the paper caches: target-model hidden states
+collected during the RL inference (prefilling) stage, paired with the
+rollout tokens.  :func:`collect_training_sequences` performs that capture;
+:class:`DrafterTrainer` runs the (optionally unrolled) forward, computes
+the configured losses, backpropagates through the drafter's single decoder
+layer only (embedding/LM head stay frozen), and applies Adam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.drafter.eagle import EagleDrafter
+from repro.errors import DrafterError
+from repro.llm.model import TinyLM
+from repro.llm.optim import Adam
+from repro.llm.sampler import log_softmax, softmax
+
+CeMode = str  # "hard" | "soft" | "reverse_kd"
+_CE_MODES = ("hard", "soft", "reverse_kd")
+
+
+@dataclass(frozen=True)
+class TrainingStrategy:
+    """One drafter-training recipe.
+
+    Attributes:
+        name: identifier used in benchmark tables.
+        fused_layers: target hidden layers fused into the input feature.
+        unroll_steps: training-time-test depth (self-fed forward steps).
+        l1_weight: weight of the hidden-state alignment L1 loss.
+        ce_mode: classification loss — ``hard`` (label CE), ``soft``
+            (forward KD against the target distribution), or
+            ``reverse_kd`` (OSD-style reverse KL).
+        relative_cost: per-step training cost normalised to EAGLE
+            (Table 7's "Training Cost" column).
+    """
+
+    name: str
+    fused_layers: Tuple[int, ...] = (-1,)
+    unroll_steps: int = 1
+    l1_weight: float = 1.0
+    ce_mode: CeMode = "soft"
+    relative_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.unroll_steps < 1:
+            raise DrafterError("unroll_steps must be >= 1")
+        if self.l1_weight < 0:
+            raise DrafterError("l1_weight must be non-negative")
+        if self.ce_mode not in _CE_MODES:
+            raise DrafterError(
+                f"ce_mode must be one of {_CE_MODES}, got {self.ce_mode!r}"
+            )
+
+    @staticmethod
+    def eagle() -> "TrainingStrategy":
+        """EAGLE: top-layer hiddens, L1 + soft CE, no unroll."""
+        return TrainingStrategy(name="eagle")
+
+    @staticmethod
+    def hass() -> "TrainingStrategy":
+        """HASS: EAGLE plus 3-step training-time test."""
+        return TrainingStrategy(name="hass", unroll_steps=3,
+                                relative_cost=3.0)
+
+    @staticmethod
+    def eagle3(num_target_layers: int) -> "TrainingStrategy":
+        """EAGLE-3: bottom/middle/top fusion, CE only, 7-step unroll."""
+        mid = max(num_target_layers // 2, 0)
+        layers = tuple(sorted({0, mid, num_target_layers - 1}))
+        return TrainingStrategy(
+            name="eagle3",
+            fused_layers=layers,
+            unroll_steps=7,
+            l1_weight=0.0,
+            relative_cost=7.0,
+        )
+
+    @staticmethod
+    def osd() -> "TrainingStrategy":
+        """OSD-style online distillation: reverse-KD classification loss."""
+        return TrainingStrategy(name="osd", ce_mode="reverse_kd")
+
+
+@dataclass
+class TrainingSequence:
+    """One cached rollout sequence for drafter training.
+
+    Attributes:
+        tokens: (T,) token ids (prompt + response).
+        hidden_stacks: (T, num_layers, d) target hidden states at every
+            position, captured during the RL inference stage.
+        step_index: RL step the sequence was generated at (used by the
+            one-step-offset DataBuffer sampling).
+    """
+
+    tokens: np.ndarray
+    hidden_stacks: np.ndarray
+    step_index: int = 0
+
+    def __post_init__(self) -> None:
+        self.tokens = np.asarray(self.tokens, dtype=np.int64)
+        self.hidden_stacks = np.asarray(self.hidden_stacks, dtype=np.float64)
+        if self.tokens.ndim != 1:
+            raise DrafterError("tokens must be 1-D")
+        if self.hidden_stacks.shape[0] != self.tokens.shape[0]:
+            raise DrafterError(
+                "hidden_stacks and tokens length mismatch: "
+                f"{self.hidden_stacks.shape[0]} vs {self.tokens.shape[0]}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Sequence length in tokens."""
+        return int(self.tokens.shape[0])
+
+
+def collect_training_sequences(
+    target: TinyLM,
+    full_sequences: Sequence[Sequence[int]],
+    step_index: int = 0,
+) -> List[TrainingSequence]:
+    """Capture target hidden states for drafter training.
+
+    Mirrors the paper's data path: the RL inference stage already runs a
+    teacher-forced forward over prompt+response, so hidden states come for
+    free and are cached (host-memory DataBuffer) for the spot trainer.
+    """
+    out: List[TrainingSequence] = []
+    for seq in full_sequences:
+        tokens = np.asarray(list(map(int, seq)), dtype=np.int64)
+        if tokens.size < 3:
+            continue
+        result = target.forward(tokens[None, :])
+        stacks = np.stack([h[0] for h in result.hiddens], axis=1)
+        out.append(
+            TrainingSequence(
+                tokens=tokens, hidden_stacks=stacks, step_index=step_index
+            )
+        )
+    return out
+
+
+@dataclass
+class TrainingBatch:
+    """Flattened training positions ready for the (unrolled) forward.
+
+    For base position ``t`` and unroll step ``j`` (1-indexed): the drafter
+    consumes token ``x_{t+j-1}``, predicts ``x_{t+j}``, and aligns its
+    hidden with the target's top hidden at ``t+j-1``.
+
+    Attributes:
+        fuse_stacks: (N, num_layers, d) target stacks at position ``t-1``.
+        tokens: (N, J) consumed tokens per unroll step.
+        labels: (N, J) ground-truth next tokens per unroll step.
+        top_hiddens: (N, J, d) target top hiddens per unroll step.
+    """
+
+    fuse_stacks: np.ndarray
+    tokens: np.ndarray
+    labels: np.ndarray
+    top_hiddens: np.ndarray
+
+    @property
+    def num_positions(self) -> int:
+        """Number of base positions (N)."""
+        return int(self.tokens.shape[0])
+
+    @property
+    def unroll_steps(self) -> int:
+        """Unroll depth (J)."""
+        return int(self.tokens.shape[1])
+
+
+def build_training_batch(
+    sequences: Sequence[TrainingSequence],
+    unroll_steps: int,
+    max_positions: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> TrainingBatch:
+    """Flatten cached sequences into an unrolled training batch.
+
+    Args:
+        sequences: cached rollout data.
+        unroll_steps: training-time-test depth J.
+        max_positions: optional subsample cap (uniform without
+            replacement; requires ``rng``).
+        rng: generator for subsampling.
+
+    Raises:
+        DrafterError: when no sequence is long enough to contribute.
+    """
+    fuse_stacks: List[np.ndarray] = []
+    tokens: List[np.ndarray] = []
+    labels: List[np.ndarray] = []
+    top_hiddens: List[np.ndarray] = []
+    for seq in sequences:
+        t_max = seq.length - 1 - unroll_steps
+        if t_max < 1:
+            continue
+        for t in range(1, t_max + 1):
+            js = np.arange(unroll_steps)
+            fuse_stacks.append(seq.hidden_stacks[t - 1])
+            tokens.append(seq.tokens[t + js])
+            labels.append(seq.tokens[t + js + 1])
+            top_hiddens.append(seq.hidden_stacks[t + js, -1, :])
+    if not fuse_stacks:
+        raise DrafterError(
+            "no sequence long enough for the requested unroll depth"
+        )
+    batch = TrainingBatch(
+        fuse_stacks=np.stack(fuse_stacks),
+        tokens=np.stack(tokens),
+        labels=np.stack(labels),
+        top_hiddens=np.stack(top_hiddens),
+    )
+    if max_positions is not None and batch.num_positions > max_positions:
+        if rng is None:
+            raise DrafterError("max_positions subsampling requires rng")
+        keep = rng.choice(
+            batch.num_positions, size=max_positions, replace=False
+        )
+        batch = TrainingBatch(
+            fuse_stacks=batch.fuse_stacks[keep],
+            tokens=batch.tokens[keep],
+            labels=batch.labels[keep],
+            top_hiddens=batch.top_hiddens[keep],
+        )
+    return batch
+
+
+@dataclass(frozen=True)
+class DrafterTrainingConfig:
+    """Optimisation hyper-parameters for the drafter trainer."""
+
+    strategy: TrainingStrategy = field(default_factory=TrainingStrategy.eagle)
+    learning_rate: float = 3e-3
+    grad_clip: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise DrafterError("learning_rate must be positive")
+        if self.grad_clip <= 0:
+            raise DrafterError("grad_clip must be positive")
+
+
+@dataclass
+class TrainStepReport:
+    """Losses and sizes from one drafter optimisation step."""
+
+    ce_loss: float
+    l1_loss: float
+    num_positions: int
+    unroll_steps: int
+
+    @property
+    def total_loss(self) -> float:
+        """CE + weighted L1 (already weighted)."""
+        return self.ce_loss + self.l1_loss
+
+
+class DrafterTrainer:
+    """Trains an :class:`EagleDrafter` with a configured strategy."""
+
+    def __init__(
+        self, drafter: EagleDrafter, config: DrafterTrainingConfig
+    ) -> None:
+        strategy = config.strategy
+        if tuple(drafter.config.fused_layers) != tuple(strategy.fused_layers):
+            raise DrafterError(
+                "drafter fused_layers "
+                f"{drafter.config.fused_layers} do not match strategy "
+                f"{strategy.fused_layers}"
+            )
+        self.drafter = drafter
+        self.config = config
+        self.optimizer = Adam(lr=config.learning_rate)
+        self.steps_done = 0
+
+    def train_step(self, batch: TrainingBatch) -> TrainStepReport:
+        """One full-batch forward/backward/Adam update.
+
+        The forward self-feeds for ``strategy.unroll_steps`` steps (HASS /
+        EAGLE-3 training-time test); gradients flow through the unroll.
+        """
+        strategy = self.config.strategy
+        drafter = self.drafter
+        if batch.unroll_steps < strategy.unroll_steps:
+            raise DrafterError(
+                f"batch unroll depth {batch.unroll_steps} < strategy "
+                f"requirement {strategy.unroll_steps}"
+            )
+        steps = strategy.unroll_steps
+        n = batch.num_positions
+        embed = drafter.target.params["embed"]
+        norm = 1.0 / (n * steps)
+
+        # Unrolled forward.
+        state = drafter.fuse(batch.fuse_stacks)
+        caches: List[dict] = []
+        hiddens: List[np.ndarray] = []
+        for j in range(steps):
+            hidden, cache = drafter.forward_cell_batch(
+                state, batch.tokens[:, j]
+            )
+            caches.append(cache)
+            hiddens.append(hidden)
+            state = hidden
+
+        # Losses and logits-space gradients per step.
+        ce_total = 0.0
+        l1_total = 0.0
+        dhiddens: List[np.ndarray] = []
+        for j in range(steps):
+            hidden = hiddens[j]
+            logits = hidden @ embed.T
+            q = softmax(logits)
+            labels_j = batch.labels[:, j]
+            top_j = batch.top_hiddens[:, j, :]
+            if strategy.ce_mode == "hard":
+                dlogits = q.copy()
+                dlogits[np.arange(n), labels_j] -= 1.0
+                logq = log_softmax(logits)
+                ce_total += -float(np.mean(logq[np.arange(n), labels_j]))
+            elif strategy.ce_mode == "soft":
+                target_logits = top_j @ embed.T
+                p = softmax(target_logits)
+                dlogits = q - p
+                logq = log_softmax(logits)
+                ce_total += -float(np.mean(np.sum(p * logq, axis=-1)))
+            else:  # reverse_kd
+                target_logits = top_j @ embed.T
+                logp = log_softmax(target_logits)
+                logq = log_softmax(logits)
+                diff = logq - logp
+                expected = np.sum(q * diff, axis=-1, keepdims=True)
+                dlogits = q * (diff - expected)
+                ce_total += float(np.mean(np.sum(q * diff, axis=-1)))
+            dhidden = (dlogits @ embed) * norm
+            if strategy.l1_weight > 0:
+                delta = hidden - top_j
+                l1_total += strategy.l1_weight * float(
+                    np.mean(np.abs(delta))
+                )
+                dhidden = dhidden + strategy.l1_weight * np.sign(delta) / (
+                    n * steps * delta.shape[-1]
+                )
+            dhiddens.append(dhidden)
+
+        # Backward through the unroll (BPTT).
+        grads = drafter.params.zeros_like()
+        dstate = np.zeros_like(hiddens[0])
+        for j in range(steps - 1, -1, -1):
+            dh = dhiddens[j] + dstate
+            dstate = drafter.backward_cell_batch(caches[j], dh, grads)
+        drafter.backward_fuse(batch.fuse_stacks, dstate, grads)
+
+        grads.clip_global_norm(self.config.grad_clip)
+        self.optimizer.step(drafter.params, grads)
+        self.steps_done += 1
+        return TrainStepReport(
+            ce_loss=ce_total / steps,
+            l1_loss=l1_total / steps,
+            num_positions=n,
+            unroll_steps=steps,
+        )
+
+    def train_epochs(
+        self, batch: TrainingBatch, epochs: int
+    ) -> List[TrainStepReport]:
+        """Run several optimisation steps over the same batch."""
+        return [self.train_step(batch) for _ in range(epochs)]
+
+
+def evaluate_topk_accuracy(
+    drafter: EagleDrafter, batch: TrainingBatch, k: int = 3
+) -> float:
+    """Top-k next-token accuracy of the drafter's *first* draft step.
+
+    This is the paper's Figure 15 metric (drafter top-3 accuracy).
+    """
+    if k < 1:
+        raise DrafterError(f"k must be >= 1, got {k}")
+    state = drafter.fuse(batch.fuse_stacks)
+    hidden, _ = drafter.forward_cell_batch(state, batch.tokens[:, 0])
+    logits = hidden @ drafter.target.params["embed"].T
+    n = batch.num_positions
+    k = min(k, logits.shape[-1])
+    top = np.argpartition(-logits, kth=k - 1, axis=-1)[:, :k]
+    labels = batch.labels[:, 0]
+    hits = (top == labels[:, None]).any(axis=-1)
+    return float(np.mean(hits))

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except ReproError`` while
+still distinguishing programming errors (``TypeError``/``ValueError`` raised
+by Python itself) from simulator- and configuration-level failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class VocabularyError(ReproError):
+    """A token id fell outside the vocabulary, or a special token clashed."""
+
+
+class GenerationError(ReproError):
+    """The generation loop was driven into an invalid state."""
+
+
+class DrafterError(ReproError):
+    """Draft-model construction or training was misused."""
+
+
+class SpecDecodeError(ReproError):
+    """Speculative decoding was invoked with inconsistent draft/target data."""
+
+
+class SchedulingError(ReproError):
+    """The cluster simulator or worker coordinator hit an invalid transition."""
+
+
+class BufferError_(ReproError):
+    """The online data buffer was misused (named with a trailing underscore
+    to avoid shadowing the ``BufferError`` builtin)."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint save/restore failed or was misused."""
+
+
+class HardwareModelError(ReproError):
+    """The roofline/memory model received out-of-range parameters."""
+
+
+class OutOfMemoryError(HardwareModelError):
+    """A simulated device ran out of memory (e.g. CUDAGraph capture pool)."""
+
+
+class TunerError(ReproError):
+    """The bandit tuner was driven with inconsistent strategies or buckets."""

@@ -1,0 +1,102 @@
+"""Token vocabulary with reserved special tokens.
+
+The synthetic tasks use small vocabularies (tens to a few hundred tokens).
+Three ids are reserved at the bottom of the range:
+
+* ``PAD`` (0) — left-padding for the fixed context window and batch padding,
+* ``BOS`` (1) — beginning-of-sequence marker prepended to every prompt,
+* ``EOS`` (2) — end-of-sequence; generation stops when the model emits it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import VocabularyError
+
+PAD_ID = 0
+BOS_ID = 1
+EOS_ID = 2
+NUM_SPECIAL_TOKENS = 3
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """A fixed-size token vocabulary.
+
+    Attributes:
+        size: total number of token ids, including the three special tokens.
+    """
+
+    size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size <= NUM_SPECIAL_TOKENS:
+            raise VocabularyError(
+                f"vocabulary size must exceed {NUM_SPECIAL_TOKENS} "
+                f"(pad/bos/eos), got {self.size}"
+            )
+
+    @property
+    def pad_id(self) -> int:
+        """Padding token id."""
+        return PAD_ID
+
+    @property
+    def bos_id(self) -> int:
+        """Beginning-of-sequence token id."""
+        return BOS_ID
+
+    @property
+    def eos_id(self) -> int:
+        """End-of-sequence token id."""
+        return EOS_ID
+
+    @property
+    def first_regular_id(self) -> int:
+        """Smallest non-special token id."""
+        return NUM_SPECIAL_TOKENS
+
+    @property
+    def num_regular(self) -> int:
+        """Number of non-special token ids."""
+        return self.size - NUM_SPECIAL_TOKENS
+
+    def contains(self, token_id: int) -> bool:
+        """Whether ``token_id`` is a valid id in this vocabulary."""
+        return 0 <= token_id < self.size
+
+    def validate_tokens(self, tokens: Iterable[int]) -> None:
+        """Raise :class:`VocabularyError` if any token id is out of range."""
+        for tok in tokens:
+            if not self.contains(int(tok)):
+                raise VocabularyError(
+                    f"token id {tok} outside vocabulary of size {self.size}"
+                )
+
+    def regular_ids(self) -> List[int]:
+        """All non-special token ids, ascending."""
+        return list(range(NUM_SPECIAL_TOKENS, self.size))
+
+    def random_regular_tokens(
+        self, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """Sample ``count`` uniform non-special token ids."""
+        if count < 0:
+            raise VocabularyError(f"count must be non-negative, got {count}")
+        return rng.integers(NUM_SPECIAL_TOKENS, self.size, size=count)
+
+    def strip_special(self, tokens: Sequence[int]) -> List[int]:
+        """Drop pad/bos and truncate at the first EOS (exclusive)."""
+        out: List[int] = []
+        for tok in tokens:
+            tok = int(tok)
+            if tok == EOS_ID:
+                break
+            if tok in (PAD_ID, BOS_ID):
+                continue
+            out.append(tok)
+        return out

@@ -1,0 +1,140 @@
+"""Rollout backends: vanilla decoding vs speculative decoding.
+
+The RL trainer is backend-agnostic; swapping :class:`VanillaRollout` for
+:class:`SpeculativeRollout` is the TLT integration point.  Because the SD
+engine is mathematically lossless, both backends sample responses from the
+*same* distribution — which is what makes the Figure 12 reward curves
+overlap — while the speculative backend needs far fewer target-model
+forward launches.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.drafter.base import Drafter
+from repro.llm.generation import generate
+from repro.llm.model import TinyLM
+from repro.specdec.engine import speculative_generate
+from repro.specdec.strategy import SdStrategy
+
+
+@dataclass
+class RolloutResult:
+    """Backend-independent rollout output.
+
+    Attributes:
+        prompts: prompts as decoded (BOS included).
+        responses: response token lists.
+        finished: per-sequence EOS flag.
+        target_steps: target-model forward launches consumed.
+        stats: backend-specific extras (e.g. accept lengths).
+    """
+
+    prompts: List[List[int]]
+    responses: List[List[int]]
+    finished: List[bool]
+    target_steps: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def full_sequences(self) -> List[List[int]]:
+        """Prompt + response per sequence."""
+        return [p + r for p, r in zip(self.prompts, self.responses)]
+
+    @property
+    def response_lengths(self) -> List[int]:
+        """Token count of each response."""
+        return [len(r) for r in self.responses]
+
+
+class RolloutBackend(abc.ABC):
+    """Generates rollout responses for the RL trainer."""
+
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def generate(
+        self,
+        policy: TinyLM,
+        prompts: Sequence[Sequence[int]],
+        max_new_tokens: int,
+        temperature: float,
+        rng: np.random.Generator,
+    ) -> RolloutResult:
+        """Generate one batch of responses."""
+
+
+class VanillaRollout(RolloutBackend):
+    """Plain autoregressive decoding (the VeRL-style baseline)."""
+
+    name = "vanilla"
+
+    def generate(self, policy, prompts, max_new_tokens, temperature, rng):
+        out = generate(
+            policy, prompts, max_new_tokens, temperature, rng
+        )
+        return RolloutResult(
+            prompts=out.prompts,
+            responses=out.responses,
+            finished=out.finished,
+            target_steps=out.model_steps,
+            stats={},
+        )
+
+
+class SpeculativeRollout(RolloutBackend):
+    """Speculative decoding rollout with a (possibly adapting) drafter.
+
+    Args:
+        drafter: the draft model (learned or model-free); shared across
+            steps so spot training between steps improves later rollouts.
+        strategy: SD configuration.
+        child_mode: tree child expansion mode (``sample`` = lossless).
+        feed_ngram: when True, finished responses are fed back into the
+            drafter's retrieval database (model-free drafters).
+    """
+
+    name = "speculative"
+
+    def __init__(
+        self,
+        drafter: Drafter,
+        strategy: SdStrategy,
+        child_mode: str = "sample",
+        feed_ngram: bool = True,
+    ) -> None:
+        self.drafter = drafter
+        self.strategy = strategy
+        self.child_mode = child_mode
+        self.feed_ngram = feed_ngram
+
+    def generate(self, policy, prompts, max_new_tokens, temperature, rng):
+        out = speculative_generate(
+            policy,
+            self.drafter,
+            prompts,
+            max_new_tokens,
+            temperature,
+            rng,
+            strategy=self.strategy,
+            child_mode=self.child_mode,  # type: ignore[arg-type]
+        )
+        if self.feed_ngram and not self.drafter.trainable:
+            self.drafter.observe_rollouts(out.responses)
+        metrics = out.metrics
+        return RolloutResult(
+            prompts=out.prompts,
+            responses=out.responses,
+            finished=out.finished,
+            target_steps=out.target_steps,
+            stats={
+                "accept_length": metrics.mean_accept_length,
+                "cycles": float(metrics.num_cycles),
+                "draft_efficiency": metrics.draft_efficiency,
+            },
+        )

@@ -1,0 +1,314 @@
+"""The end-to-end RL training loop (rollout → inference → update).
+
+One :meth:`RlTrainer.step` is one Figure 4 step:
+
+1. **Rollout** — the backend (vanilla or speculative) samples
+   ``group_size`` responses per prompt from the current policy.
+2. **Inference** — teacher-forced forwards score every response token
+   under the policy and the frozen reference model; rule-based rewards
+   come from the task verifier.
+3. **Training** — a token-level policy-gradient update with group-relative
+   advantages and a KL penalty, applied through TinyLM's exact backward.
+
+The update supports PPO-style ratio clipping for multi-epoch reuse, but
+defaults to the single on-policy epoch GRPO prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.llm.model import TinyLM
+from repro.llm.optim import Adam
+from repro.llm.sampler import temperature_probs
+from repro.llm.vocab import PAD_ID
+from repro.rl.algorithms import AdvantageEstimator, GrpoAdvantages
+from repro.rl.kl import KL_ESTIMATORS, kl_estimate, kl_grad_coef
+from repro.rl.rollout_backends import (
+    RolloutBackend,
+    RolloutResult,
+    VanillaRollout,
+)
+from repro.workload.prompts import PromptBatch, Task, make_prompt_batch
+
+
+@dataclass(frozen=True)
+class RlConfig:
+    """Hyper-parameters of the RL loop.
+
+    Attributes:
+        num_prompts: distinct prompts per step.
+        group_size: responses per prompt (GRPO group).
+        max_new_tokens: rollout length cap.
+        temperature: rollout sampling temperature (also used for scoring,
+            matching the behaviour distribution).
+        learning_rate: Adam step size.
+        kl_coef: KL-penalty weight (0 disables the reference model term).
+        kl_estimator: ``k1`` / ``k2`` / ``k3``.
+        grad_clip: global gradient-norm clip.
+        clip_eps: PPO ratio clip (active when ``inner_epochs > 1``).
+        inner_epochs: optimisation epochs per rollout batch.
+    """
+
+    num_prompts: int = 8
+    group_size: int = 8
+    max_new_tokens: int = 48
+    temperature: float = 0.9
+    learning_rate: float = 1e-3
+    kl_coef: float = 0.02
+    kl_estimator: str = "k3"
+    grad_clip: float = 1.0
+    clip_eps: float = 0.2
+    inner_epochs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_prompts < 1 or self.group_size < 1:
+            raise ConfigError("num_prompts and group_size must be >= 1")
+        if self.max_new_tokens < 1:
+            raise ConfigError("max_new_tokens must be >= 1")
+        if self.temperature <= 0:
+            raise ConfigError(
+                "temperature must be positive (greedy RL degenerates)"
+            )
+        if self.learning_rate <= 0:
+            raise ConfigError("learning_rate must be positive")
+        if self.kl_coef < 0:
+            raise ConfigError("kl_coef must be non-negative")
+        if self.kl_estimator not in KL_ESTIMATORS:
+            raise ConfigError(
+                f"kl_estimator must be one of {KL_ESTIMATORS}"
+            )
+        if self.grad_clip <= 0:
+            raise ConfigError("grad_clip must be positive")
+        if self.inner_epochs < 1:
+            raise ConfigError("inner_epochs must be >= 1")
+
+
+@dataclass
+class RlStepReport:
+    """Metrics from one RL step.
+
+    Attributes:
+        step: step index (0-based).
+        mean_reward: batch mean rule-based reward.
+        pg_loss: policy-gradient loss component.
+        kl_value: mean per-token KL estimate vs the reference model.
+        mean_response_length / max_response_length: rollout length stats.
+        target_steps: target-model forward launches in the rollout stage.
+        rollout_stats: backend extras (accept lengths etc.).
+        active_fraction: fraction of sequences surviving advantage masks.
+    """
+
+    step: int
+    mean_reward: float
+    pg_loss: float
+    kl_value: float
+    mean_response_length: float
+    max_response_length: int
+    target_steps: int
+    rollout_stats: Dict[str, float] = field(default_factory=dict)
+    active_fraction: float = 1.0
+
+
+class RlTrainer:
+    """GRPO-family trainer over a TinyLM policy.
+
+    Args:
+        policy: the model being trained (mutated in place).
+        task: prompt generator + verifier.
+        config: loop hyper-parameters.
+        algorithm: advantage estimator (defaults to GRPO).
+        backend: rollout backend (defaults to vanilla decoding).
+        rng: generator for prompts and rollouts.
+    """
+
+    def __init__(
+        self,
+        policy: TinyLM,
+        task: Task,
+        config: RlConfig,
+        algorithm: Optional[AdvantageEstimator] = None,
+        backend: Optional[RolloutBackend] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.policy = policy
+        self.task = task
+        self.config = config
+        self.algorithm = algorithm or GrpoAdvantages()
+        self.backend = backend or VanillaRollout()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.reference = policy.clone()
+        self.optimizer = Adam(lr=config.learning_rate)
+        self.steps_done = 0
+        self.history: List[RlStepReport] = []
+        #: Most recent rollout (consumed by the spot trainer's DataBuffer).
+        self.last_rollout: Optional[RolloutResult] = None
+
+    # -- public API ----------------------------------------------------------
+
+    def step(self) -> RlStepReport:
+        """Run one full RL step and return its report."""
+        config = self.config
+        batch = make_prompt_batch(
+            self.task, config.num_prompts, config.group_size, self.rng
+        )
+        rollout = self.backend.generate(
+            self.policy,
+            batch.expanded,
+            config.max_new_tokens,
+            config.temperature,
+            self.rng,
+        )
+        self.last_rollout = rollout
+
+        rewards = self.task.reward_batch(batch.expanded, rollout.responses)
+        reward_matrix = rewards.reshape(
+            config.num_prompts, config.group_size
+        )
+        advantages, mask = self.algorithm.compute(reward_matrix)
+        adv_flat = advantages.reshape(-1)
+        mask_flat = mask.reshape(-1)
+
+        pg_loss, kl_value = self._update_policy(
+            rollout, adv_flat, mask_flat
+        )
+
+        report = RlStepReport(
+            step=self.steps_done,
+            mean_reward=float(rewards.mean()),
+            pg_loss=pg_loss,
+            kl_value=kl_value,
+            mean_response_length=float(
+                np.mean(rollout.response_lengths)
+            ),
+            max_response_length=int(max(rollout.response_lengths)),
+            target_steps=rollout.target_steps,
+            rollout_stats=dict(rollout.stats),
+            active_fraction=float(mask_flat.mean()),
+        )
+        self.history.append(report)
+        self.steps_done += 1
+        return report
+
+    def run(self, num_steps: int) -> List[RlStepReport]:
+        """Run several steps; returns their reports."""
+        return [self.step() for _ in range(num_steps)]
+
+    def evaluate(self, num_prompts: int, rng: np.random.Generator) -> float:
+        """Mean reward on fresh prompts (the paper's periodic eval)."""
+        batch = make_prompt_batch(self.task, num_prompts, 1, rng)
+        rollout = VanillaRollout().generate(
+            self.policy,
+            batch.expanded,
+            self.config.max_new_tokens,
+            self.config.temperature,
+            rng,
+        )
+        rewards = self.task.reward_batch(batch.expanded, rollout.responses)
+        return float(rewards.mean())
+
+    # -- update ---------------------------------------------------------------
+
+    def _update_policy(
+        self,
+        rollout: RolloutResult,
+        advantages: np.ndarray,
+        mask: np.ndarray,
+    ) -> tuple:
+        """Token-level policy-gradient update; returns (pg_loss, kl)."""
+        config = self.config
+        sequences = rollout.full_sequences
+        prompt_lengths = [len(p) for p in rollout.prompts]
+        batch_size = len(sequences)
+        max_len = max(len(s) for s in sequences)
+        tokens = np.full((batch_size, max_len), PAD_ID, dtype=np.int64)
+        for row, seq in enumerate(sequences):
+            tokens[row, : len(seq)] = seq
+
+        # Response-token bookkeeping: token y_t is predicted at t-1.
+        resp_pos: List[np.ndarray] = []
+        resp_tok: List[np.ndarray] = []
+        total_resp = 0
+        for row, seq in enumerate(sequences):
+            start, stop = prompt_lengths[row], len(seq)
+            positions = np.arange(start, stop)
+            resp_pos.append(positions - 1)
+            resp_tok.append(tokens[row, start:stop])
+            total_resp += stop - start
+        if total_resp == 0:
+            return 0.0, 0.0
+
+        # Reference logprobs are fixed across inner epochs.
+        ref_logits = self.reference.forward(tokens).logits
+        ref_probs = temperature_probs(ref_logits, config.temperature)
+
+        old_logp: Optional[List[np.ndarray]] = None
+        pg_loss_value = 0.0
+        kl_value = 0.0
+        for epoch in range(config.inner_epochs):
+            result = self.policy.forward(tokens, keep_cache=True)
+            probs = temperature_probs(result.logits, config.temperature)
+            dlogits = np.zeros_like(result.logits)
+            pg_terms: List[float] = []
+            kl_terms: List[float] = []
+            if old_logp is None:
+                old_logp = []
+            scale = 1.0 / (total_resp * config.temperature)
+            for row in range(batch_size):
+                if mask[row] == 0.0:
+                    if epoch == 0:
+                        old_logp.append(np.zeros(0))
+                    continue
+                positions = resp_pos[row]
+                chosen = resp_tok[row]
+                if positions.size == 0:
+                    if epoch == 0:
+                        old_logp.append(np.zeros(0))
+                    continue
+                p_tok = probs[row, positions, chosen]
+                logp = np.log(np.maximum(p_tok, 1e-300))
+                ref_tok = ref_probs[row, positions, chosen]
+                logp_ref = np.log(np.maximum(ref_tok, 1e-300))
+                if epoch == 0:
+                    old_logp.append(logp.copy())
+                ratio = np.exp(
+                    np.clip(logp - old_logp[row], -30.0, 30.0)
+                )
+                adv = advantages[row]
+                if config.inner_epochs > 1:
+                    clipped_hi = (adv > 0) & (ratio > 1.0 + config.clip_eps)
+                    clipped_lo = (adv < 0) & (ratio < 1.0 - config.clip_eps)
+                    active = ~(clipped_hi | clipped_lo)
+                else:
+                    active = np.ones_like(ratio, dtype=bool)
+                pg_coef = -adv * ratio * active
+                kl_coef = config.kl_coef * kl_grad_coef(
+                    logp, logp_ref, config.kl_estimator
+                )
+                coef = (pg_coef + kl_coef) * scale
+                # dlogits += coef * (onehot - probs)
+                dlogits[row, positions, :] -= (
+                    coef[:, None] * probs[row, positions, :]
+                )
+                dlogits[row, positions, chosen] += coef
+                pg_terms.append(float(np.sum(-adv * ratio * logp)))
+                kl_terms.append(
+                    float(
+                        np.sum(
+                            kl_estimate(
+                                logp, logp_ref, config.kl_estimator
+                            )
+                        )
+                    )
+                )
+
+            grads = self.policy.backward(result.cache, dlogits)
+            grads.clip_global_norm(config.grad_clip)
+            self.optimizer.step(self.policy.params, grads)
+            pg_loss_value = sum(pg_terms) / total_resp
+            kl_value = sum(kl_terms) / total_resp
+        return pg_loss_value, kl_value

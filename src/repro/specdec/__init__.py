@@ -1,0 +1,47 @@
+"""Speculative decoding core (paper §2.2, §5.1).
+
+Implements the mathematically lossless accept/reject rules (chain rule of
+Leviathan et al. for linear drafts, multi-round speculative sampling of
+SpecInfer for tree drafts), confidence-guided draft-tree construction
+(Figure 9), and the end-to-end speculative generation loop used by every
+accept-length and speedup experiment.
+"""
+
+from repro.specdec.acceptance import (
+    AcceptResult,
+    accept_token,
+    multi_round_accept,
+    residual_distribution,
+)
+from repro.specdec.engine import (
+    SpeculativeGenerationOutput,
+    speculative_generate,
+)
+from repro.specdec.linear import LinearDraftResult, linear_decode_step
+from repro.specdec.metrics import (
+    AcceptanceProfile,
+    SdCycleStats,
+    SdRunMetrics,
+)
+from repro.specdec.strategy import SdStrategy, default_strategy_pool
+from repro.specdec.tree import DraftTree, TreeNode, build_draft_tree, verify_tree
+
+__all__ = [
+    "SdStrategy",
+    "default_strategy_pool",
+    "AcceptResult",
+    "accept_token",
+    "multi_round_accept",
+    "residual_distribution",
+    "DraftTree",
+    "TreeNode",
+    "build_draft_tree",
+    "verify_tree",
+    "LinearDraftResult",
+    "linear_decode_step",
+    "speculative_generate",
+    "SpeculativeGenerationOutput",
+    "SdCycleStats",
+    "SdRunMetrics",
+    "AcceptanceProfile",
+]

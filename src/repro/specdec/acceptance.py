@@ -1,0 +1,170 @@
+"""Lossless accept/reject rules for speculative decoding.
+
+Two rules are implemented, both provably distribution-preserving:
+
+* :func:`accept_token` — the chain rule of Leviathan et al. (2023): a draft
+  token ``x ~ q`` is accepted with probability ``min(1, p(x)/q(x))``;
+  on rejection the caller resamples from the residual
+  ``norm(max(p - q, 0))``.
+* :func:`multi_round_accept` — SpecInfer's multi-round extension for a set
+  of sibling candidates ``x_i ~ q_i``: candidates are tried in order, and
+  after each rejection the target distribution is replaced by the residual
+  against that candidate's draft distribution.  If every sibling is
+  rejected, sampling from the final residual preserves the target
+  distribution exactly.
+
+Both rules require that each candidate was *sampled from the draft
+distribution passed in*; the tree builder's ``sample`` child mode satisfies
+this (and is what the property tests exercise).  The deterministic ``topk``
+child mode trades strict losslessness at ``temperature > 0`` for the higher
+accept lengths EAGLE-2-style systems report; greedy verification
+(``temperature == 0``) is exact in both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SpecDecodeError
+
+_RESIDUAL_EPS = 1e-15
+
+
+def residual_distribution(
+    target_probs: np.ndarray, draft_probs: np.ndarray
+) -> np.ndarray:
+    """``norm(max(p - q, 0))`` with a numeric fallback.
+
+    Mathematically the residual can only be all-zero when ``p == q``, in
+    which case rejection has probability zero; under floating point we fall
+    back to the target distribution itself rather than raising.
+    """
+    target_probs = np.asarray(target_probs, dtype=np.float64)
+    draft_probs = np.asarray(draft_probs, dtype=np.float64)
+    if target_probs.shape != draft_probs.shape:
+        raise SpecDecodeError(
+            "target/draft distribution shape mismatch: "
+            f"{target_probs.shape} vs {draft_probs.shape}"
+        )
+    residual = np.maximum(target_probs - draft_probs, 0.0)
+    total = residual.sum()
+    if total <= _RESIDUAL_EPS:
+        return target_probs / target_probs.sum()
+    return residual / total
+
+
+@dataclass
+class AcceptResult:
+    """Outcome of one accept/reject trial.
+
+    Attributes:
+        accepted: whether the draft token was accepted.
+        residual: the updated target distribution to use after a rejection
+            (``None`` when accepted).
+    """
+
+    accepted: bool
+    residual: Optional[np.ndarray]
+
+
+def accept_token(
+    target_probs: np.ndarray,
+    draft_probs: np.ndarray,
+    token: int,
+    rng: np.random.Generator,
+) -> AcceptResult:
+    """Chain acceptance rule for one draft token sampled from ``draft_probs``.
+
+    Args:
+        target_probs: target model distribution ``p`` at this position.
+        draft_probs: draft distribution ``q`` the token was sampled from.
+        token: the drafted token id.
+        rng: random generator (consumes exactly one uniform).
+
+    Returns:
+        :class:`AcceptResult`; on rejection ``residual`` holds
+        ``norm(max(p - q, 0))`` for resampling.
+    """
+    target_probs = np.asarray(target_probs, dtype=np.float64)
+    draft_probs = np.asarray(draft_probs, dtype=np.float64)
+    q_tok = float(draft_probs[token])
+    if q_tok <= 0.0:
+        raise SpecDecodeError(
+            f"draft token {token} has zero draft probability; it cannot "
+            "have been sampled from the provided draft distribution"
+        )
+    ratio = float(target_probs[token]) / q_tok
+    if rng.random() < min(1.0, ratio):
+        return AcceptResult(accepted=True, residual=None)
+    return AcceptResult(
+        accepted=False,
+        residual=residual_distribution(target_probs, draft_probs),
+    )
+
+
+def multi_round_accept(
+    target_probs: np.ndarray,
+    candidates: Sequence[int],
+    draft_prob_dists: Sequence[np.ndarray],
+    rng: np.random.Generator,
+) -> Tuple[Optional[int], np.ndarray]:
+    """SpecInfer multi-round speculative sampling over sibling candidates.
+
+    Args:
+        target_probs: target distribution ``p`` at the parent position.
+        candidates: sibling token ids, tried in order.
+        draft_prob_dists: the draft distribution each candidate was sampled
+            from (one per candidate; for a single drafter these are the
+            successive residual distributions used during tree building).
+        rng: random generator (one uniform per rejection trial).
+
+    Returns:
+        ``(index, residual)`` where ``index`` is the position of the first
+        accepted candidate in ``candidates`` (or ``None`` if all rejected)
+        and ``residual`` is the distribution to sample a correction token
+        from when nothing was accepted.
+    """
+    if len(candidates) != len(draft_prob_dists):
+        raise SpecDecodeError(
+            "candidates and draft distributions length mismatch: "
+            f"{len(candidates)} vs {len(draft_prob_dists)}"
+        )
+    current = np.asarray(target_probs, dtype=np.float64)
+    for index, (token, q) in enumerate(zip(candidates, draft_prob_dists)):
+        q = np.asarray(q, dtype=np.float64)
+        q_tok = float(q[token])
+        if q_tok <= 0.0:
+            # The candidate has zero draft mass under its recorded
+            # distribution — treat as an automatic rejection with no
+            # residual update (it carried no probability to subtract).
+            continue
+        ratio = float(current[token]) / q_tok
+        if rng.random() < min(1.0, ratio):
+            return index, current
+        current = residual_distribution(current, q)
+    return None, current
+
+
+def sequential_residual_draws(
+    probs: np.ndarray, count: int, rng: np.random.Generator
+) -> Tuple[List[int], List[np.ndarray]]:
+    """Draw ``count`` candidates i.i.d. from ``probs``.
+
+    Returns the tokens and, for each, the distribution it was drawn from
+    (all equal to ``probs``), in the format :func:`multi_round_accept`
+    expects.  Duplicate tokens are allowed — the multi-round rule handles
+    them (a duplicate of a rejected token auto-rejects because its residual
+    mass is zero).
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if count < 1:
+        raise SpecDecodeError(f"count must be >= 1, got {count}")
+    cdf = np.cumsum(probs)
+    cdf[-1] = 1.0
+    draws = rng.random(count)
+    tokens = [int(np.searchsorted(cdf, d, side="right")) for d in draws]
+    tokens = [min(t, probs.shape[0] - 1) for t in tokens]
+    return tokens, [probs for _ in tokens]

@@ -1,0 +1,183 @@
+"""End-to-end speculative generation loop.
+
+Drives repeated draft/verify cycles until EOS or the length cap, committing
+tokens whose joint distribution matches vanilla decoding exactly (in
+``sample`` child mode).  This is the algorithmic engine behind every
+accept-length experiment; wall-clock throughput modelling lives in
+:mod:`repro.rollout`, which replays these statistics through the roofline
+cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.drafter.base import Drafter
+from repro.errors import SpecDecodeError
+from repro.llm.model import TinyLM, contexts_from_sequences
+from repro.llm.vocab import BOS_ID, EOS_ID
+from repro.specdec.linear import linear_decode_step
+from repro.specdec.metrics import SdCycleStats, SdRunMetrics
+from repro.specdec.strategy import SdStrategy
+from repro.specdec.tree import ChildMode, build_draft_tree, verify_tree
+
+
+@dataclass
+class SpeculativeGenerationOutput:
+    """Result of speculatively generating one batch of sequences.
+
+    Attributes:
+        prompts: input prompts (BOS prepended when requested).
+        responses: committed response tokens per sequence (terminal EOS
+            included when emitted).
+        finished: True when EOS terminated the sequence.
+        metrics: aggregate draft/accept statistics across all sequences.
+        target_steps: batched target forward launches (each verification
+            pass counts once; the vanilla-decoding equivalent is one per
+            generated token).
+    """
+
+    prompts: List[List[int]]
+    responses: List[List[int]]
+    finished: List[bool]
+    metrics: SdRunMetrics
+    target_steps: int
+
+    @property
+    def response_lengths(self) -> List[int]:
+        """Token count of each response."""
+        return [len(r) for r in self.responses]
+
+
+def _initial_hidden(
+    target: TinyLM, prefix: Sequence[int]
+) -> Optional[np.ndarray]:
+    """Exact target hidden stack at the second-to-last prefix position."""
+    if len(prefix) < 2:
+        return None
+    context = contexts_from_sequences([list(prefix)[:-1]],
+                                      target.config.context_window)
+    _, hiddens = target.step(context)
+    return np.stack([h[0] for h in hiddens], axis=0).copy()
+
+
+def speculative_generate(
+    target: TinyLM,
+    drafter: Drafter,
+    prompts: Sequence[Sequence[int]],
+    max_new_tokens: int,
+    temperature: float,
+    rng: np.random.Generator,
+    strategy: SdStrategy,
+    add_bos: bool = True,
+    child_mode: ChildMode = "sample",
+    use_tree: bool = True,
+) -> SpeculativeGenerationOutput:
+    """Generate responses with speculative decoding.
+
+    Args:
+        target: the target model.
+        drafter: the draft model.
+        prompts: token-id prompts.
+        max_new_tokens: per-sequence response-length cap.
+        temperature: sampling temperature (shared by drafter and target).
+        rng: random generator.
+        strategy: SD configuration tuple.
+        add_bos: prepend BOS to each prompt.
+        child_mode: tree child expansion mode (``sample`` is lossless).
+        use_tree: tree-based drafting (default) or linear chains.
+
+    Returns:
+        A :class:`SpeculativeGenerationOutput`.
+    """
+    if max_new_tokens < 1:
+        raise SpecDecodeError(
+            f"max_new_tokens must be >= 1, got {max_new_tokens}"
+        )
+    prompt_lists = [
+        ([BOS_ID] + list(map(int, p))) if add_bos else list(map(int, p))
+        for p in prompts
+    ]
+    responses: List[List[int]] = []
+    finished: List[bool] = []
+    metrics = SdRunMetrics()
+    target_steps = 0
+
+    for prompt in prompt_lists:
+        sequence = list(prompt)
+        response: List[int] = []
+        hidden = _initial_hidden(target, sequence)
+        if len(sequence) >= 2:
+            target_steps += 1  # the prefill hidden hand-off
+        done = False
+        while len(response) < max_new_tokens and not done:
+            if use_tree:
+                tree = build_draft_tree(
+                    drafter,
+                    sequence,
+                    hidden,
+                    strategy,
+                    temperature,
+                    rng,
+                    child_mode=child_mode,
+                )
+                result = verify_tree(
+                    target, tree, sequence, temperature, rng
+                )
+                committed = result.accepted_tokens
+                cycle = SdCycleStats(
+                    accepted=result.accepted_node_count,
+                    committed=len(committed),
+                    drafted=tree.num_selected,
+                    draft_steps=tree.draft_steps,
+                    verify_batch=result.verify_batch,
+                )
+                metrics.profile.record(
+                    result.depth_attempts, result.depth_accepts
+                )
+                hidden = result.next_hidden
+            else:
+                result = linear_decode_step(
+                    target,
+                    drafter,
+                    sequence,
+                    hidden,
+                    strategy.draft_depth,
+                    temperature,
+                    rng,
+                )
+                committed = result.accepted_tokens
+                cycle = SdCycleStats(
+                    accepted=result.accepted_count,
+                    committed=len(committed),
+                    drafted=result.drafted_count,
+                    draft_steps=result.drafted_count,
+                    verify_batch=result.verify_batch,
+                )
+                metrics.profile.record_flags(result.accept_flags)
+                hidden = result.next_hidden
+            target_steps += 1  # one batched verification forward
+            metrics.add_cycle(cycle)
+
+            # Commit tokens, truncating at EOS and at the length cap.
+            for token in committed:
+                response.append(token)
+                sequence.append(token)
+                if token == EOS_ID:
+                    done = True
+                    break
+                if len(response) >= max_new_tokens:
+                    break
+        responses.append(response)
+        finished.append(done)
+
+    return SpeculativeGenerationOutput(
+        prompts=prompt_lists,
+        responses=responses,
+        finished=finished,
+        metrics=metrics,
+        target_steps=target_steps,
+    )

@@ -1,0 +1,132 @@
+"""Linear (single-chain) speculative decoding.
+
+The classic Leviathan-style algorithm: the drafter proposes a chain of
+``draft_depth`` tokens, the target verifies all of them in one batched
+forward pass, and the longest accepted prefix plus one correction/bonus
+token is committed.  Equivalent to tree decoding with ``topk=1`` but kept
+as a standalone, independently tested implementation (it is also the shape
+the model-free drafter is benchmarked in as ``TLT-Base``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.drafter.base import Drafter
+from repro.errors import SpecDecodeError
+from repro.llm.model import TinyLM, contexts_from_sequences
+from repro.llm.sampler import sample_from_probs, temperature_probs
+from repro.llm.vocab import EOS_ID
+from repro.specdec.acceptance import accept_token
+
+
+@dataclass
+class LinearDraftResult:
+    """Outcome of one linear draft/verify cycle.
+
+    Attributes:
+        accepted_tokens: committed tokens (accepted prefix + bonus).
+        accepted_count: accepted draft tokens (bonus excluded).
+        drafted_count: draft tokens proposed this cycle.
+        bonus_token: the final committed token.
+        next_hidden: exact target hidden stack (num_layers, hidden_size)
+            at the position before the bonus token.
+        verify_batch: rows in the batched verification forward.
+        accept_flags: per-draft-position acceptance outcome.
+    """
+
+    accepted_tokens: List[int]
+    accepted_count: int
+    drafted_count: int
+    bonus_token: int
+    next_hidden: np.ndarray
+    verify_batch: int
+    accept_flags: List[bool]
+
+
+def linear_decode_step(
+    target: TinyLM,
+    drafter: Drafter,
+    prefix_tokens: Sequence[int],
+    last_hidden: Optional[np.ndarray],
+    draft_depth: int,
+    temperature: float,
+    rng: np.random.Generator,
+) -> LinearDraftResult:
+    """Run one draft-then-verify cycle of chain speculative decoding.
+
+    Args:
+        target: the target model.
+        drafter: the draft model.
+        prefix_tokens: committed sequence so far.
+        last_hidden: exact target hidden at the second-to-last position
+            (the EAGLE hand-off), or ``None`` at sequence start.
+        draft_depth: number of chained draft tokens to propose.
+        temperature: shared sampling temperature.
+        rng: random generator.
+
+    Returns:
+        A :class:`LinearDraftResult`; at least one token (the bonus) is
+        always committed, and the committed-token distribution equals
+        vanilla decoding's exactly.
+    """
+    if draft_depth < 1:
+        raise SpecDecodeError(f"draft_depth must be >= 1, got {draft_depth}")
+    prefix = [int(t) for t in prefix_tokens]
+    if not prefix:
+        raise SpecDecodeError("prefix must be non-empty")
+
+    # Drafting stage: sample a chain from the drafter.
+    state = drafter.begin(prefix, last_hidden)
+    draft_tokens: List[int] = []
+    draft_dists: List[np.ndarray] = []
+    for _ in range(draft_depth):
+        probs = drafter.propose(state, temperature)
+        token = int(sample_from_probs(probs[None, :], rng)[0])
+        draft_tokens.append(token)
+        draft_dists.append(probs)
+        if token == EOS_ID:
+            break
+        state = drafter.extend(state, token)
+
+    # Verification stage: one batched target forward over the prefix row
+    # plus each draft position's row.
+    paths = [prefix]
+    running = list(prefix)
+    for token in draft_tokens:
+        running = running + [token]
+        paths.append(list(running))
+    contexts = contexts_from_sequences(paths, target.config.context_window)
+    logits, hiddens = target.step(contexts)
+    probs_rows = temperature_probs(logits, temperature)
+    hidden_stack = np.stack(hiddens, axis=1)  # (rows, L, d)
+
+    accepted: List[int] = []
+    accept_flags: List[bool] = []
+    bonus_dist = probs_rows[0]
+    final_row = 0
+    for position, (token, q) in enumerate(zip(draft_tokens, draft_dists)):
+        result = accept_token(probs_rows[position], q, token, rng)
+        accept_flags.append(result.accepted)
+        if not result.accepted:
+            bonus_dist = result.residual
+            break
+        accepted.append(token)
+        final_row = position + 1
+        bonus_dist = probs_rows[final_row]
+        if token == EOS_ID:
+            break
+
+    bonus_token = int(sample_from_probs(bonus_dist[None, :], rng)[0])
+    return LinearDraftResult(
+        accepted_tokens=accepted + [bonus_token],
+        accepted_count=len(accepted),
+        drafted_count=len(draft_tokens),
+        bonus_token=bonus_token,
+        next_hidden=hidden_stack[final_row].copy(),
+        verify_batch=len(paths),
+        accept_flags=accept_flags,
+    )

@@ -1,0 +1,149 @@
+"""Acceptance/throughput accounting for speculative decoding runs.
+
+The paper reports three intermediate metrics this module computes:
+*average accept length* (tokens committed per verification cycle, the
+``Σ accept_lens / batch + 1`` of Algorithm 1), *per-position accept rate*
+(Figure 16), and drafted/verified token counts that feed the roofline cost
+model for speedup estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SdCycleStats:
+    """Bookkeeping for one draft/verify cycle of one sequence.
+
+    Attributes:
+        accepted: accepted draft tokens (bonus token excluded).
+        committed: tokens committed this cycle (accepted + 1 bonus).
+        drafted: draft tokens submitted for verification.
+        draft_steps: drafter forward steps spent building the draft.
+        verify_batch: rows in the batched target verification forward.
+    """
+
+    accepted: int
+    committed: int
+    drafted: int
+    draft_steps: int
+    verify_batch: int
+
+
+@dataclass
+class AcceptanceProfile:
+    """Per-draft-position acceptance counters (Figure 16).
+
+    ``attempts[i]`` counts cycles where an acceptance round was attempted at
+    draft position ``i+1``; ``accepts[i]`` counts successes there.
+    """
+
+    attempts: List[int] = field(default_factory=list)
+    accepts: List[int] = field(default_factory=list)
+
+    def record(
+        self, depth_attempts: Sequence[int], depth_accepts: Sequence[int]
+    ) -> None:
+        """Fold one cycle's per-depth counters into the profile."""
+        for depth, count in enumerate(depth_attempts):
+            self._grow(depth + 1)
+            self.attempts[depth] += count
+        for depth, count in enumerate(depth_accepts):
+            self._grow(depth + 1)
+            self.accepts[depth] += count
+
+    def record_flags(self, accept_flags: Sequence[bool]) -> None:
+        """Fold a linear cycle's per-position accept flags."""
+        for depth, flag in enumerate(accept_flags):
+            self._grow(depth + 1)
+            self.attempts[depth] += 1
+            self.accepts[depth] += int(flag)
+
+    def rates(self) -> List[float]:
+        """Acceptance rate per draft position (positions with attempts)."""
+        out: List[float] = []
+        for attempted, accepted in zip(self.attempts, self.accepts):
+            if attempted == 0:
+                break
+            out.append(accepted / attempted)
+        return out
+
+    def _grow(self, depth: int) -> None:
+        while len(self.attempts) < depth:
+            self.attempts.append(0)
+            self.accepts.append(0)
+
+
+@dataclass
+class SdRunMetrics:
+    """Aggregate metrics across cycles (and sequences).
+
+    Attributes:
+        cycles: per-cycle statistics in execution order.
+        profile: per-position acceptance profile.
+    """
+
+    cycles: List[SdCycleStats] = field(default_factory=list)
+    profile: AcceptanceProfile = field(default_factory=AcceptanceProfile)
+
+    def add_cycle(self, stats: SdCycleStats) -> None:
+        """Record one cycle."""
+        self.cycles.append(stats)
+
+    @property
+    def num_cycles(self) -> int:
+        """Number of draft/verify cycles recorded."""
+        return len(self.cycles)
+
+    @property
+    def total_committed(self) -> int:
+        """Total committed tokens (accepted + bonus) across cycles."""
+        return sum(c.committed for c in self.cycles)
+
+    @property
+    def total_drafted(self) -> int:
+        """Total drafted tokens across cycles."""
+        return sum(c.drafted for c in self.cycles)
+
+    @property
+    def mean_accept_length(self) -> float:
+        """Average committed tokens per cycle (the paper's accept length)."""
+        if not self.cycles:
+            return 0.0
+        return self.total_committed / len(self.cycles)
+
+    @property
+    def mean_accepted(self) -> float:
+        """Average accepted draft tokens per cycle (bonus excluded)."""
+        if not self.cycles:
+            return 0.0
+        return sum(c.accepted for c in self.cycles) / len(self.cycles)
+
+    @property
+    def draft_efficiency(self) -> float:
+        """Accepted draft tokens / drafted tokens (0 when nothing drafted)."""
+        drafted = self.total_drafted
+        if drafted == 0:
+            return 0.0
+        return sum(c.accepted for c in self.cycles) / drafted
+
+    def merged(self, other: "SdRunMetrics") -> "SdRunMetrics":
+        """Combine two metric sets (e.g. across sequences)."""
+        merged = SdRunMetrics(cycles=self.cycles + other.cycles)
+        merged.profile.record(other.profile.attempts, other.profile.accepts)
+        merged.profile.record(self.profile.attempts, self.profile.accepts)
+        return merged
+
+    def summary(self) -> Dict[str, float]:
+        """Dict summary used by benchmark rows."""
+        return {
+            "cycles": float(self.num_cycles),
+            "accept_length": self.mean_accept_length,
+            "accepted_per_cycle": self.mean_accepted,
+            "draft_efficiency": self.draft_efficiency,
+            "total_committed": float(self.total_committed),
+        }

@@ -1,0 +1,536 @@
+"""Confidence-guided draft-tree construction and parallel verification.
+
+Reproduces Figure 9 of the paper: starting from the committed prefix, the
+drafter expands up to ``topk`` candidate children per node for up to
+``draft_depth`` levels, spending a total node budget of
+``tokens_to_verify``; the whole tree is then submitted to the target model
+in one batched forward pass and accepted along a single root-to-leaf path
+with the multi-round rule.
+
+Expansion is *best-first* on cumulative draft confidence and
+**all-or-nothing per node**: once a node's candidates are drawn, every one
+of them is verified.  (Pruning an already-drawn candidate would condition
+its participation on its drawn value, which breaks the ``c_i ~ q_i``
+premise of the multi-round acceptance theorem and biases the output; the
+budget therefore gates which nodes get *expanded*, never which drawn
+candidates are kept.)
+
+Two child-expansion modes are supported:
+
+* ``"sample"`` (default) — children are i.i.d. draws from the drafter's
+  distribution; combined with :func:`~repro.specdec.acceptance.
+  multi_round_accept` this is *provably lossless* for any temperature.
+  Expansion is best-first and all-or-nothing under the verification
+  budget (see above).
+* ``"topk"`` — EAGLE-2-style deterministic build: level-wise beam
+  expansion of the most confident nodes followed by top-``V`` reranking
+  across the whole tree (so a confident drafter yields deep chains even
+  at small verification budgets).  Exact under greedy decoding — which is
+  how the paper runs its hyper-parameter grid (Figure 13, "we set
+  temperature=0") — and a high-accept-length approximation otherwise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.drafter.base import Drafter, DrafterState
+from repro.errors import SpecDecodeError
+from repro.llm.model import TinyLM, contexts_from_sequences
+from repro.llm.sampler import sample_from_probs, temperature_probs
+from repro.llm.vocab import EOS_ID
+from repro.specdec.acceptance import multi_round_accept
+from repro.specdec.strategy import SdStrategy
+
+ChildMode = Literal["sample", "topk"]
+
+
+@dataclass
+class TreeNode:
+    """One drafted token in the candidate tree.
+
+    Attributes:
+        token: drafted token id.
+        parent: index of the parent node in ``DraftTree.nodes`` (-1 = root).
+        depth: 1 for root children, increasing down the tree.
+        path_prob: product of draft probabilities along the path (the
+            "confidence score" used for top-N selection).
+        draft_dist: the draft distribution this node's token was drawn
+            from (needed by the acceptance rule).
+        state: drafter state *after* consuming this node's token.
+        child_candidates: sibling-ordered child tokens drafted below this
+            node (may contain duplicates in ``sample`` mode).
+        child_dists: the draft distribution for each child candidate.
+        child_nodes: candidate token -> node index (first occurrence).
+        selected: whether this node survived top-N selection.
+    """
+
+    token: int
+    parent: int
+    depth: int
+    path_prob: float
+    draft_dist: np.ndarray
+    state: DrafterState
+    child_candidates: List[int] = field(default_factory=list)
+    child_dists: List[np.ndarray] = field(default_factory=list)
+    child_nodes: Dict[int, int] = field(default_factory=dict)
+    selected: bool = False
+
+
+@dataclass
+class DraftTree:
+    """A drafted candidate tree plus root-level bookkeeping.
+
+    Attributes:
+        nodes: all drafted nodes (root excluded; root is implicit).
+        root_candidates: sibling-ordered root-level candidate tokens.
+        root_dists: draft distribution per root candidate.
+        root_children: token -> node index for root-level nodes.
+        selected_indices: indices of nodes that survived top-N selection,
+            in breadth-first order.
+        draft_steps: number of drafter ``extend`` calls performed.
+    """
+
+    nodes: List[TreeNode]
+    root_candidates: List[int]
+    root_dists: List[np.ndarray]
+    root_children: Dict[int, int]
+    selected_indices: List[int]
+    draft_steps: int
+
+    @property
+    def num_selected(self) -> int:
+        """Number of nodes submitted for verification."""
+        return len(self.selected_indices)
+
+
+def build_draft_tree(
+    drafter: Drafter,
+    prefix_tokens: Sequence[int],
+    last_hidden: Optional[np.ndarray],
+    strategy: SdStrategy,
+    temperature: float,
+    rng: np.random.Generator,
+    child_mode: ChildMode = "sample",
+) -> DraftTree:
+    """Draft a candidate tree below the committed prefix.
+
+    Args:
+        drafter: the draft model.
+        prefix_tokens: committed sequence (prompt + accepted tokens).
+        last_hidden: exact target hidden state handed off by the engine.
+        strategy: ``(draft_depth, topk, tokens_to_verify)``.
+        temperature: sampling temperature shared with the target.
+        rng: random generator (used in ``sample`` mode).
+        child_mode: ``"sample"`` (lossless) or ``"topk"`` (EAGLE-2 style).
+
+    Returns:
+        A :class:`DraftTree` with selection already applied.
+    """
+    if child_mode == "sample":
+        return _build_tree_sampled(
+            drafter, prefix_tokens, last_hidden, strategy, temperature, rng
+        )
+    if child_mode == "topk":
+        return _build_tree_topk(
+            drafter, prefix_tokens, last_hidden, strategy, temperature
+        )
+    raise SpecDecodeError(f"unknown child mode {child_mode!r}")
+
+
+def _build_tree_sampled(
+    drafter: Drafter,
+    prefix_tokens: Sequence[int],
+    last_hidden: Optional[np.ndarray],
+    strategy: SdStrategy,
+    temperature: float,
+    rng: np.random.Generator,
+) -> DraftTree:
+    """Lossless best-first build (see the module docstring)."""
+    root_state = drafter.begin(prefix_tokens, last_hidden)
+    nodes: List[TreeNode] = []
+    draft_steps = 0
+
+    def draw_candidates(
+        state: DrafterState,
+    ) -> Tuple[List[int], List[np.ndarray]]:
+        """Draw i.i.d. candidate children for one node."""
+        probs = drafter.propose(state, temperature)
+        cdf = np.cumsum(probs)
+        cdf[-1] = 1.0
+        draws = rng.random(strategy.topk)
+        tokens = [
+            min(int(np.searchsorted(cdf, d, side="right")), len(probs) - 1)
+            for d in draws
+        ]
+        dists = [probs] * len(tokens)
+        return tokens, dists
+
+    root_candidates: List[int] = []
+    root_dists: List[np.ndarray] = []
+    root_children: Dict[int, int] = {}
+    budget = strategy.tokens_to_verify
+
+    def expand(parent_index: int) -> Optional[List[int]]:
+        """Draw candidates below one node; materialise ALL of them.
+
+        Losslessness requires all-or-nothing bookkeeping: either every
+        drawn candidate is recorded for verification, or (when the unique
+        children would exceed the node budget) the entire draw is
+        discarded and the node stays an unexpanded leaf — the discard
+        decision never selects among the drawn values, so the committed-
+        token distribution at the node is unaffected.
+
+        Returns the created child-node indices, or ``None`` when the
+        expansion was discarded for lack of budget.
+        """
+        nonlocal draft_steps
+        if parent_index == -1:
+            parent_state = root_state
+            parent_prob = 1.0
+            parent_depth = 0
+        else:
+            parent_node = nodes[parent_index]
+            parent_state = parent_node.state
+            parent_prob = parent_node.path_prob
+            parent_depth = parent_node.depth
+        candidates, dists = draw_candidates(parent_state)
+        unique = list(dict.fromkeys(candidates))
+        if len(nodes) + len(unique) > budget:
+            return None
+        if parent_index == -1:
+            root_candidates.extend(candidates)
+            root_dists.extend(dists)
+            child_map = root_children
+        else:
+            parent_node.child_candidates.extend(candidates)
+            parent_node.child_dists.extend(dists)
+            child_map = parent_node.child_nodes
+        created: List[int] = []
+        for token, dist in zip(candidates, dists):
+            if token in child_map:
+                continue
+            state = drafter.extend(parent_state, token)
+            draft_steps += 1
+            node = TreeNode(
+                token=token,
+                parent=parent_index,
+                depth=parent_depth + 1,
+                path_prob=parent_prob * float(dist[token]),
+                draft_dist=dist,
+                state=state,
+                selected=True,
+            )
+            nodes.append(node)
+            index = len(nodes) - 1
+            child_map[token] = index
+            created.append(index)
+        return created
+
+    # Best-first expansion under the node budget.  The frontier holds
+    # expandable nodes keyed by (-path_prob, creation index).
+    counter = 0
+    frontier: List[Tuple[float, int, int]] = []
+
+    def push(node_index: int) -> None:
+        nonlocal counter
+        node = nodes[node_index]
+        if node.depth >= strategy.draft_depth or node.token == EOS_ID:
+            return
+        heapq.heappush(frontier, (-node.path_prob, counter, node_index))
+        counter += 1
+
+    created = expand(-1)
+    if created is not None:
+        for index in created:
+            push(index)
+    while frontier and len(nodes) < budget:
+        _, _, parent_index = heapq.heappop(frontier)
+        created = expand(parent_index)
+        if created is not None:
+            for index in created:
+                push(index)
+
+    selected = sorted(
+        range(len(nodes)), key=lambda i: (nodes[i].depth, i)
+    )
+    return DraftTree(
+        nodes=nodes,
+        root_candidates=root_candidates,
+        root_dists=root_dists,
+        root_children=root_children,
+        selected_indices=selected,
+        draft_steps=draft_steps,
+    )
+
+
+def _build_tree_topk(
+    drafter: Drafter,
+    prefix_tokens: Sequence[int],
+    last_hidden: Optional[np.ndarray],
+    strategy: SdStrategy,
+    temperature: float,
+) -> DraftTree:
+    """EAGLE-2-style deterministic build: beam expansion + top-V rerank.
+
+    Per level the ``topk`` most confident frontier nodes are expanded and
+    the most confident ``max(topk, min(V, 32))`` drafted candidates are
+    materialised; afterwards the ``tokens_to_verify`` highest-confidence
+    nodes across the whole tree form the verified (connected) subtree.
+    """
+    root_state = drafter.begin(prefix_tokens, last_hidden)
+    nodes: List[TreeNode] = []
+    draft_steps = 0
+    level_width = max(strategy.topk, min(strategy.tokens_to_verify, 32))
+
+    def top_children(
+        state: DrafterState,
+    ) -> Tuple[List[int], np.ndarray]:
+        probs = drafter.propose(state, temperature)
+        order = np.argsort(-probs, kind="stable")[: strategy.topk]
+        return [int(t) for t in order if probs[t] > 0.0], probs
+
+    # Root level.
+    root_tokens, root_probs = top_children(root_state)
+    root_candidates: List[int] = list(root_tokens)
+    root_dists: List[np.ndarray] = [root_probs] * len(root_tokens)
+    root_children: Dict[int, int] = {}
+    frontier: List[int] = []
+    for token in root_tokens:
+        state = drafter.extend(root_state, token)
+        draft_steps += 1
+        nodes.append(
+            TreeNode(
+                token=token,
+                parent=-1,
+                depth=1,
+                path_prob=float(root_probs[token]),
+                draft_dist=root_probs,
+                state=state,
+            )
+        )
+        index = len(nodes) - 1
+        root_children[token] = index
+        frontier.append(index)
+
+    for _ in range(1, strategy.draft_depth):
+        frontier.sort(key=lambda i: -nodes[i].path_prob)
+        expanded = frontier[: strategy.topk]
+        candidates: List[Tuple[float, int, int, np.ndarray]] = []
+        for parent_index in expanded:
+            parent = nodes[parent_index]
+            if parent.token == EOS_ID:
+                continue
+            tokens, probs = top_children(parent.state)
+            parent.child_candidates.extend(tokens)
+            parent.child_dists.extend([probs] * len(tokens))
+            for token in tokens:
+                candidates.append(
+                    (
+                        parent.path_prob * float(probs[token]),
+                        parent_index,
+                        token,
+                        probs,
+                    )
+                )
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: -item[0])
+        next_frontier: List[int] = []
+        for path_prob, parent_index, token, probs in (
+            candidates[:level_width]
+        ):
+            parent = nodes[parent_index]
+            state = drafter.extend(parent.state, token)
+            draft_steps += 1
+            nodes.append(
+                TreeNode(
+                    token=token,
+                    parent=parent_index,
+                    depth=parent.depth + 1,
+                    path_prob=path_prob,
+                    draft_dist=probs,
+                    state=state,
+                )
+            )
+            index = len(nodes) - 1
+            parent.child_nodes[token] = index
+            next_frontier.append(index)
+        frontier = next_frontier
+
+    selected = _select_top_connected(nodes, strategy.tokens_to_verify)
+    return DraftTree(
+        nodes=nodes,
+        root_candidates=root_candidates,
+        root_dists=root_dists,
+        root_children=root_children,
+        selected_indices=selected,
+        draft_steps=draft_steps,
+    )
+
+
+def _select_top_connected(nodes: List[TreeNode], budget: int) -> List[int]:
+    """Mark the ``budget`` most confident nodes (connected subtree).
+
+    Path confidence is monotone non-increasing, and ties break toward
+    shallower nodes, so ancestors always rank ahead of descendants; a
+    parent check guards the invariant regardless.
+    """
+    order = sorted(
+        range(len(nodes)),
+        key=lambda i: (-nodes[i].path_prob, nodes[i].depth, i),
+    )
+    kept: List[int] = []
+    kept_set: set = set()
+    for index in order:
+        if len(kept) >= budget:
+            break
+        parent = nodes[index].parent
+        if parent != -1 and parent not in kept_set:
+            continue
+        kept.append(index)
+        kept_set.add(index)
+    for index in range(len(nodes)):
+        nodes[index].selected = index in kept_set
+    kept.sort(key=lambda i: (nodes[i].depth, i))
+    return kept
+
+
+@dataclass
+class TreeVerifyResult:
+    """Outcome of verifying one draft tree against the target model.
+
+    Attributes:
+        accepted_tokens: committed tokens in order (accepted draft nodes
+            followed by the bonus/correction token).
+        accepted_node_count: accepted draft nodes (bonus excluded).
+        bonus_token: the final token sampled from the target (or residual).
+        next_hidden: exact target hidden stack (num_layers, hidden_size) at
+            the position *before* the bonus token — the drafter hand-off
+            for the next cycle.
+        verify_batch: rows in the batched verification forward.
+        depth_attempts: per-depth count of acceptance rounds attempted.
+        depth_accepts: per-depth count of successful acceptances.
+    """
+
+    accepted_tokens: List[int]
+    accepted_node_count: int
+    bonus_token: int
+    next_hidden: np.ndarray
+    verify_batch: int
+    depth_attempts: List[int]
+    depth_accepts: List[int]
+
+
+def verify_tree(
+    target: TinyLM,
+    tree: DraftTree,
+    prefix_tokens: Sequence[int],
+    temperature: float,
+    rng: np.random.Generator,
+) -> TreeVerifyResult:
+    """Verify a draft tree in one batched target forward pass.
+
+    The batch contains one row for the committed prefix (providing the
+    root distribution and the fallback hand-off hidden) plus one row per
+    selected node (providing that node's next-token distribution and exact
+    hidden state).
+
+    Returns:
+        A :class:`TreeVerifyResult`; ``accepted_tokens`` always contains at
+        least one token (the bonus), preserving the target distribution
+        exactly in ``sample`` child mode.
+    """
+    prefix = [int(t) for t in prefix_tokens]
+    if not prefix:
+        raise SpecDecodeError("prefix must be non-empty")
+    nodes = tree.nodes
+    selected = tree.selected_indices
+
+    # Reconstruct each selected node's path once (root row first).
+    paths: List[List[int]] = [prefix]
+    row_of_node: Dict[int, int] = {}
+    node_paths: Dict[int, List[int]] = {}
+    for index in selected:
+        node = nodes[index]
+        if node.parent == -1:
+            parent_path = prefix
+        else:
+            parent_path = node_paths[node.parent]
+        path = parent_path + [node.token]
+        node_paths[index] = path
+        row_of_node[index] = len(paths)
+        paths.append(path)
+
+    contexts = contexts_from_sequences(paths, target.config.context_window)
+    logits, hiddens = target.step(contexts)
+    probs = temperature_probs(logits, temperature)
+    hidden_stack = np.stack(hiddens, axis=1)  # (rows, L, d)
+
+    depth_attempts: List[int] = []
+    depth_accepts: List[int] = []
+    accepted: List[int] = []
+
+    current_row = 0  # root row
+    current_candidates = tree.root_candidates
+    current_dists = tree.root_dists
+    current_children = tree.root_children
+    depth = 0
+    while True:
+        if not current_candidates:
+            # Leaf: sample the bonus token from the full target distribution.
+            bonus_dist = probs[current_row]
+            break
+        depth += 1
+        _extend_counts(depth_attempts, depth)
+        _extend_counts(depth_accepts, depth)
+        depth_attempts[depth - 1] += 1
+        # Only candidates whose node survived selection participate.
+        live: List[int] = []
+        live_dists: List[np.ndarray] = []
+        live_node_index: List[int] = []
+        for token, dist in zip(current_candidates, current_dists):
+            node_index = current_children.get(token)
+            if node_index is None or not nodes[node_index].selected:
+                continue
+            live.append(token)
+            live_dists.append(dist)
+            live_node_index.append(node_index)
+        if not live:
+            bonus_dist = probs[current_row]
+            break
+        chosen, residual = multi_round_accept(
+            probs[current_row], live, live_dists, rng
+        )
+        if chosen is None:
+            bonus_dist = residual
+            break
+        depth_accepts[depth - 1] += 1
+        node_index = live_node_index[chosen]
+        node = nodes[node_index]
+        accepted.append(node.token)
+        current_row = row_of_node[node_index]
+        current_candidates = node.child_candidates
+        current_dists = node.child_dists
+        current_children = node.child_nodes
+
+    bonus_token = int(sample_from_probs(bonus_dist[None, :], rng)[0])
+    return TreeVerifyResult(
+        accepted_tokens=accepted + [bonus_token],
+        accepted_node_count=len(accepted),
+        bonus_token=bonus_token,
+        next_hidden=hidden_stack[current_row].copy(),
+        verify_batch=len(paths),
+        depth_attempts=depth_attempts,
+        depth_accepts=depth_accepts,
+    )
+
+
+def _extend_counts(counts: List[int], depth: int) -> None:
+    """Grow a per-depth counter list to cover ``depth`` (1-indexed)."""
+    while len(counts) < depth:
+        counts.append(0)

@@ -1,0 +1,204 @@
+"""Worker Coordinator state machine (paper §4.2).
+
+A *worker* is one rollout instance (e.g. a TP group of 8 GPUs).  The
+coordinator is the centralised rank-0 process of the paper (ZeroMQ
+request-reply in the real system); here it is a deterministic state
+machine the cluster simulator and the spot trainer drive:
+
+* workers cycle BUSY -> IDLE -> TRAINING and notify every transition;
+* once idle workers reach a configurable threshold, the coordinator
+  promotes them to drafter training — the first promoted worker is
+  elected **leader** and sets up the training session, later workers
+  join the same data-parallel group;
+* when the rollout needs workers back (or completes), the coordinator
+  preempts training with a graceful-shutdown signal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+
+
+class WorkerState(enum.Enum):
+    """Rollout-worker lifecycle states."""
+
+    BUSY = "busy"
+    IDLE = "idle"
+    TRAINING = "training"
+
+
+@dataclass
+class WorkerInfo:
+    """Coordinator-side view of one worker.
+
+    Attributes:
+        worker_id: unique id.
+        num_gpus: GPUs in this rollout instance (TP degree).
+        state: current lifecycle state.
+        active_requests: in-flight rollout requests.
+        is_leader: whether this worker leads the training session.
+    """
+
+    worker_id: int
+    num_gpus: int = 8
+    state: WorkerState = WorkerState.BUSY
+    active_requests: int = 0
+    is_leader: bool = False
+
+
+@dataclass
+class TrainingSession:
+    """One spot-training session (leader + joined members)."""
+
+    leader_id: int
+    member_ids: List[int] = field(default_factory=list)
+    started_at: float = 0.0
+
+
+class WorkerCoordinator:
+    """Centralised worker-state tracker and spot-training scheduler.
+
+    Args:
+        idle_threshold: minimum idle workers before training starts.
+    """
+
+    def __init__(self, idle_threshold: int = 1) -> None:
+        if idle_threshold < 1:
+            raise SchedulingError("idle_threshold must be >= 1")
+        self.idle_threshold = idle_threshold
+        self._workers: Dict[int, WorkerInfo] = {}
+        self._session: Optional[TrainingSession] = None
+        self._events: List[Tuple[float, str]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register_worker(self, worker_id: int, num_gpus: int = 8) -> None:
+        """Register a rollout worker (initially BUSY)."""
+        if worker_id in self._workers:
+            raise SchedulingError(f"worker {worker_id} already registered")
+        if num_gpus < 1:
+            raise SchedulingError("num_gpus must be >= 1")
+        self._workers[worker_id] = WorkerInfo(
+            worker_id=worker_id, num_gpus=num_gpus
+        )
+
+    # -- transitions -------------------------------------------------------
+
+    def notify_state(
+        self,
+        worker_id: int,
+        state: WorkerState,
+        active_requests: int = 0,
+        now: float = 0.0,
+    ) -> None:
+        """Record a worker-reported state transition."""
+        worker = self._require(worker_id)
+        if active_requests < 0:
+            raise SchedulingError("active_requests must be non-negative")
+        worker.state = state
+        worker.active_requests = active_requests
+        if state != WorkerState.TRAINING and worker.is_leader:
+            worker.is_leader = False
+        self._events.append((now, f"w{worker_id}:{state.value}"))
+
+    def promote_idle_workers(self, now: float = 0.0) -> List[int]:
+        """Promote idle workers to TRAINING when the threshold is met.
+
+        The first promoted worker of a new session is elected leader and
+        "sets up the training session"; workers promoted while a session
+        is live join it as data-parallel members.
+
+        Returns:
+            Ids of newly promoted workers (empty when below threshold).
+        """
+        idle = [
+            w for w in self._workers.values()
+            if w.state == WorkerState.IDLE
+        ]
+        if len(idle) < self.idle_threshold and self._session is None:
+            return []
+        if not idle:
+            return []
+        promoted: List[int] = []
+        for worker in sorted(idle, key=lambda w: w.worker_id):
+            worker.state = WorkerState.TRAINING
+            promoted.append(worker.worker_id)
+            if self._session is None:
+                worker.is_leader = True
+                self._session = TrainingSession(
+                    leader_id=worker.worker_id,
+                    member_ids=[worker.worker_id],
+                    started_at=now,
+                )
+                self._events.append((now, f"w{worker.worker_id}:leader"))
+            else:
+                self._session.member_ids.append(worker.worker_id)
+                self._events.append((now, f"w{worker.worker_id}:join"))
+        return promoted
+
+    def preempt_training(self, now: float = 0.0) -> List[int]:
+        """Gracefully stop the training session (rollout needs workers).
+
+        Returns:
+            Ids of workers returned to IDLE.
+        """
+        if self._session is None:
+            return []
+        preempted: List[int] = []
+        for worker in self._workers.values():
+            if worker.state == WorkerState.TRAINING:
+                worker.state = WorkerState.IDLE
+                worker.is_leader = False
+                preempted.append(worker.worker_id)
+                self._events.append((now, f"w{worker.worker_id}:preempted"))
+        self._session = None
+        return preempted
+
+    def rollout_complete(self, now: float = 0.0) -> List[int]:
+        """Halt training at the end of the rollout stage (graceful)."""
+        halted = self.preempt_training(now)
+        self._events.append((now, "rollout_complete"))
+        return halted
+
+    # -- queries ------------------------------------------------------------
+
+    def counts(self) -> Dict[WorkerState, int]:
+        """Worker count per state."""
+        out = {state: 0 for state in WorkerState}
+        for worker in self._workers.values():
+            out[worker.state] += 1
+        return out
+
+    @property
+    def training_session(self) -> Optional[TrainingSession]:
+        """The live spot-training session, if any."""
+        return self._session
+
+    @property
+    def leader_id(self) -> Optional[int]:
+        """Current training leader's id."""
+        return self._session.leader_id if self._session else None
+
+    def training_gpu_count(self) -> int:
+        """GPUs currently devoted to drafter training."""
+        return sum(
+            w.num_gpus
+            for w in self._workers.values()
+            if w.state == WorkerState.TRAINING
+        )
+
+    def events(self) -> List[Tuple[float, str]]:
+        """The transition log (for tests and timeline rendering)."""
+        return list(self._events)
+
+    def _require(self, worker_id: int) -> WorkerInfo:
+        try:
+            return self._workers[worker_id]
+        except KeyError:
+            raise SchedulingError(
+                f"worker {worker_id} not registered"
+            ) from None

@@ -1,0 +1,68 @@
+"""Common interface for end-to-end system models."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cluster.simulator import (
+    ClusterSpec,
+    RlStepSimulator,
+    StepResult,
+    StepWorkload,
+)
+from repro.hardware.gpus import ModelSpec
+
+
+@dataclass
+class SystemStepReport:
+    """One system's result on one RL-step workload.
+
+    Attributes:
+        system: system name.
+        step_time_s: wall-clock of the step.
+        throughput_tps: (prompt+response tokens) / step time.
+        phases: phase-duration breakdown.
+        drafter_updates: spot-trainer updates harvested (TLT only).
+        detail: extra system-specific metrics.
+    """
+
+    system: str
+    step_time_s: float
+    throughput_tps: float
+    phases: Dict[str, float]
+    drafter_updates: int = 0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+class RlSystem(abc.ABC):
+    """An RL training system: placement + rollout acceleration policy."""
+
+    name: str = "system"
+
+    def __init__(self, model: ModelSpec, cluster: ClusterSpec) -> None:
+        self.model = model
+        self.cluster = cluster
+
+    @abc.abstractmethod
+    def simulate_step(self, workload: StepWorkload) -> SystemStepReport:
+        """Simulate one RL step of this system on ``workload``."""
+
+    @staticmethod
+    def _report_from(
+        name: str, result: StepResult, extra: Optional[Dict[str, float]] = None
+    ) -> SystemStepReport:
+        return SystemStepReport(
+            system=name,
+            step_time_s=result.step_time_s,
+            throughput_tps=result.throughput_tps,
+            phases={
+                "rollout": result.rollout_s,
+                "inference": result.inference_s,
+                "training": result.training_s,
+                "transition": result.transition_s,
+            },
+            drafter_updates=result.drafter_updates,
+            detail=extra or {},
+        )

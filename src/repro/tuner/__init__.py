@@ -1,0 +1,22 @@
+"""Online SD-strategy tuners (paper §5.2, Algorithm 1).
+
+:class:`BegMabSelector` is the paper's Bucketed-Epsilon-Greedy multi-armed
+bandit; :class:`PlainEpsilonGreedy`, :class:`Ucb1Selector` and
+:class:`StaticSelector` are the ablation baselines.
+"""
+
+from repro.tuner.mab import (
+    BegMabSelector,
+    PlainEpsilonGreedy,
+    StaticSelector,
+    StrategySelector,
+    Ucb1Selector,
+)
+
+__all__ = [
+    "StrategySelector",
+    "BegMabSelector",
+    "PlainEpsilonGreedy",
+    "Ucb1Selector",
+    "StaticSelector",
+]

@@ -1,0 +1,146 @@
+"""Small statistics helpers used across the simulator and benchmarks."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` at ``q`` in [0, 100]."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values (paper's Geomean column)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def exponential_moving_average(
+    values: Sequence[float], alpha: float
+) -> List[float]:
+    """EMA of ``values`` with smoothing factor ``alpha`` in (0, 1]."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    out: List[float] = []
+    state: Optional[float] = None
+    for v in values:
+        state = v if state is None else alpha * v + (1.0 - alpha) * state
+        out.append(state)
+    return out
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics used by benchmark report rows."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("describe of empty sequence")
+    return {
+        "count": float(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+        "min": float(arr.min()),
+        "p50": float(np.percentile(arr, 50)),
+        "p75": float(np.percentile(arr, 75)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+@dataclass
+class OnlineMeanVar:
+    """Welford online mean/variance accumulator."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def update_many(self, values: Iterable[float]) -> None:
+        """Fold several observations into the running statistics."""
+        for v in values:
+            self.update(v)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count == 0:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the observations so far."""
+        return float(np.sqrt(self.variance))
+
+
+class SlidingWindow:
+    """Fixed-capacity window of recent observations (deque-backed).
+
+    The BEG-MAB tuner keeps one window of rewards and one of accept lengths
+    per strategy; the window median is the exploitation criterion
+    (Algorithm 1, line 19).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._window: Deque[float] = deque(maxlen=capacity)
+
+    def append(self, value: float) -> None:
+        """Add one observation, evicting the oldest when full."""
+        self._window.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def __iter__(self):
+        return iter(self._window)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained observations."""
+        maxlen = self._window.maxlen
+        assert maxlen is not None
+        return maxlen
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no observation has been recorded yet."""
+        return not self._window
+
+    def median(self) -> float:
+        """Median of the retained observations."""
+        if not self._window:
+            raise ValueError("median of empty window")
+        return float(np.median(np.asarray(self._window)))
+
+    def mean(self) -> float:
+        """Mean of the retained observations."""
+        if not self._window:
+            raise ValueError("mean of empty window")
+        return float(np.mean(np.asarray(self._window)))
+
+    def values(self) -> List[float]:
+        """Snapshot of retained observations, oldest first."""
+        return list(self._window)

@@ -1,0 +1,46 @@
+"""Workload generation: long-tail lengths, verifiable tasks, traces.
+
+The paper's experiments are driven by three workload ingredients, all
+reproduced here:
+
+* the **long-tail response-length distribution** of reasoning rollouts
+  (Figure 1a) — :mod:`repro.workload.lengths`;
+* **verifiable prompts** with rule-based rewards (the Eurus-2-RL stand-in)
+  — :mod:`repro.workload.prompts`;
+* the **multi-step production trace** shape from ByteDance (Figure 2) —
+  :mod:`repro.workload.traces`.
+"""
+
+from repro.workload.lengths import (
+    EmpiricalLengths,
+    LengthModel,
+    LognormalLengths,
+    ParetoLengths,
+    length_statistics,
+)
+from repro.workload.prompts import (
+    AnswerTask,
+    PatternCopyTask,
+    PromptBatch,
+    SuccessorChainTask,
+    Task,
+    make_prompt_batch,
+)
+from repro.workload.traces import TraceStep, TrainingTrace, synthesize_trace
+
+__all__ = [
+    "LengthModel",
+    "LognormalLengths",
+    "ParetoLengths",
+    "EmpiricalLengths",
+    "length_statistics",
+    "Task",
+    "SuccessorChainTask",
+    "AnswerTask",
+    "PatternCopyTask",
+    "PromptBatch",
+    "make_prompt_batch",
+    "TraceStep",
+    "TrainingTrace",
+    "synthesize_trace",
+]

@@ -1,0 +1,130 @@
+"""Synthesis of multi-step RL training traces (paper Figure 2).
+
+The ByteDance production trace shows, across 385 RL steps over 11 days:
+
+* response lengths growing over training (reasoning gets longer),
+* the per-step maximum pinned at the configured cap for most steps,
+* a persistent gap between p75 and the max (the "under-utilized zone").
+
+:func:`synthesize_trace` reproduces that shape from a drifting lognormal
+whose median grows with the policy's reasoning depth, plus per-step jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.workload.lengths import LognormalLengths, length_statistics
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """Per-RL-step length statistics (the quantities Figure 2 plots)."""
+
+    step: int
+    max_length: float
+    p75: float
+    p50: float
+    mean: float
+    hit_cap: bool
+
+
+@dataclass
+class TrainingTrace:
+    """A synthesized multi-step RL training trace.
+
+    Attributes:
+        steps: per-step statistics.
+        cap: the configured maximum generation length.
+        step_minutes: modelled wall-clock minutes per RL step.
+        eval_every: periodic-evaluation cadence in steps.
+        eval_minutes: wall-clock minutes per evaluation.
+    """
+
+    steps: List[TraceStep]
+    cap: int
+    step_minutes: float = 40.0
+    eval_every: int = 5
+    eval_minutes: float = 20.0
+
+    @property
+    def num_steps(self) -> int:
+        """Number of RL steps in the trace."""
+        return len(self.steps)
+
+    @property
+    def cap_hit_fraction(self) -> float:
+        """Fraction of steps whose longest response reached the cap."""
+        if not self.steps:
+            return 0.0
+        return sum(s.hit_cap for s in self.steps) / len(self.steps)
+
+    @property
+    def total_days(self) -> float:
+        """Modelled total wall-clock days (training + periodic evals)."""
+        evals = self.num_steps // self.eval_every if self.eval_every else 0
+        minutes = self.num_steps * self.step_minutes + evals * self.eval_minutes
+        return minutes / (60.0 * 24.0)
+
+    def series(self, key: str) -> np.ndarray:
+        """Column extraction for plotting/benchmark rows."""
+        valid = {"max_length", "p75", "p50", "mean"}
+        if key not in valid:
+            raise ConfigError(f"unknown series {key!r}; choose from {valid}")
+        return np.asarray([getattr(s, key) for s in self.steps])
+
+
+def synthesize_trace(
+    num_steps: int,
+    rng: np.random.Generator,
+    cap: int = 20_480,
+    requests_per_step: int = 512,
+    start_median: float = 1200.0,
+    end_median: float = 4500.0,
+    sigma: float = 1.05,
+) -> TrainingTrace:
+    """Synthesize a ByteDance-like RL training trace.
+
+    Args:
+        num_steps: RL steps to simulate (the paper's trace has 385).
+        rng: random generator.
+        cap: maximum generation length (paper: 20,480).
+        requests_per_step: rollout responses sampled per step.
+        start_median / end_median: median response length at the first /
+            last step — training lengthens reasoning.
+        sigma: lognormal spread (controls the tail thickness).
+
+    Returns:
+        A :class:`TrainingTrace` whose per-step statistics exhibit the
+        paper's three signatures (growth, pinned max, p75–max gap).
+    """
+    if num_steps < 1:
+        raise ConfigError("num_steps must be >= 1")
+    if requests_per_step < 4:
+        raise ConfigError("requests_per_step must be >= 4")
+    if not 0 < start_median <= end_median:
+        raise ConfigError("need 0 < start_median <= end_median")
+    steps: List[TraceStep] = []
+    for step in range(num_steps):
+        progress = step / max(num_steps - 1, 1)
+        # Smooth growth plus mild multiplicative jitter step to step.
+        median = start_median + (end_median - start_median) * progress
+        median *= float(np.exp(rng.normal(0.0, 0.08)))
+        model = LognormalLengths(median=median, sigma=sigma, cap=cap)
+        lengths = model.sample(rng, requests_per_step)
+        stats = length_statistics(lengths)
+        steps.append(
+            TraceStep(
+                step=step,
+                max_length=stats["max"],
+                p75=stats["p75"],
+                p50=stats["p50"],
+                mean=stats["mean"],
+                hit_cap=bool(stats["max"] >= cap),
+            )
+        )
+    return TrainingTrace(steps=steps, cap=cap)

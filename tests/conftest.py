@@ -1,0 +1,72 @@
+"""Shared fixtures: a small target model and a lightly trained drafter.
+
+Session-scoped so the (modest) drafter training cost is paid once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.drafter import (
+    DrafterTrainer,
+    DrafterTrainingConfig,
+    EagleDrafter,
+    EagleDrafterConfig,
+    TrainingStrategy,
+)
+from repro.drafter.training import (
+    build_training_batch,
+    collect_training_sequences,
+)
+from repro.llm import TinyLM, TinyLMConfig, generate
+
+
+@pytest.fixture(scope="session")
+def small_config() -> TinyLMConfig:
+    return TinyLMConfig(
+        vocab_size=24,
+        hidden_size=16,
+        context_window=4,
+        num_layers=3,
+        init_scale=1.5,
+    )
+
+
+@pytest.fixture(scope="session")
+def target(small_config: TinyLMConfig) -> TinyLM:
+    return TinyLM(small_config, np.random.default_rng(1234))
+
+
+@pytest.fixture(scope="session")
+def rollout_sequences(target: TinyLM):
+    rng = np.random.default_rng(99)
+    prompts = [list(rng.integers(3, 24, size=4)) for _ in range(24)]
+    out = generate(
+        target, prompts, max_new_tokens=48, temperature=0.9, rng=rng
+    )
+    return out.full_sequences
+
+
+@pytest.fixture(scope="session")
+def trained_drafter(target: TinyLM, rollout_sequences) -> EagleDrafter:
+    """An EAGLE drafter trained enough to beat chance clearly."""
+    rng = np.random.default_rng(5)
+    drafter = EagleDrafter(target, EagleDrafterConfig(), rng)
+    sequences = collect_training_sequences(target, rollout_sequences)
+    batch = build_training_batch(sequences, unroll_steps=1)
+    trainer = DrafterTrainer(
+        drafter,
+        DrafterTrainingConfig(
+            strategy=TrainingStrategy.eagle(), learning_rate=5e-3
+        ),
+    )
+    trainer.train_epochs(batch, epochs=120)
+    return drafter
+
+
+@pytest.fixture(scope="session")
+def untrained_drafter(target: TinyLM) -> EagleDrafter:
+    return EagleDrafter(
+        target, EagleDrafterConfig(), np.random.default_rng(77)
+    )

@@ -1,0 +1,198 @@
+"""Tests for the fluid rollout simulator and adaptive SD manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import RooflineModel, get_gpu, get_model
+from repro.rollout import (
+    AdaptiveSdConfig,
+    AdaptiveSdManager,
+    ConstantAcceptance,
+    MeasuredAcceptance,
+    ParametricAcceptance,
+    RolloutEngine,
+)
+from repro.specdec import SdStrategy
+
+
+@pytest.fixture()
+def roofline():
+    return RooflineModel(
+        model=get_model("Qwen2.5-7B"), gpu=get_gpu("H100"),
+        tensor_parallel=4,
+    )
+
+
+def long_tail_lengths(rng, n=64, cap=16000):
+    from repro.workload import LognormalLengths
+
+    return LognormalLengths(median=1500, sigma=1.1, cap=cap).sample(
+        rng, n
+    ).tolist()
+
+
+class TestAcceptanceModels:
+    def test_parametric_monotone_in_depth(self):
+        model = ParametricAcceptance()
+        accepts = [
+            model.accept_length(
+                SdStrategy(draft_depth=d, topk=8, tokens_to_verify=64),
+                1,
+            )
+            for d in [2, 4, 8, 16]
+        ]
+        assert accepts == sorted(accepts)
+
+    def test_parametric_saturates(self):
+        """Figure 13(a): gains taper once depth is large."""
+        model = ParametricAcceptance()
+        gain_early = model.accept_length(
+            SdStrategy(draft_depth=8, topk=8, tokens_to_verify=64), 1
+        ) - model.accept_length(
+            SdStrategy(draft_depth=4, topk=8, tokens_to_verify=64), 1
+        )
+        gain_late = model.accept_length(
+            SdStrategy(draft_depth=16, topk=8, tokens_to_verify=64), 1
+        ) - model.accept_length(
+            SdStrategy(draft_depth=12, topk=8, tokens_to_verify=64), 1
+        )
+        assert gain_late < gain_early
+
+    def test_quality_scales_acceptance(self):
+        strategy = SdStrategy(draft_depth=8, topk=8, tokens_to_verify=48)
+        fresh = ParametricAcceptance(drafter_quality=1.0)
+        stale = fresh.with_quality(0.5)
+        assert (
+            stale.accept_length(strategy, 1)
+            < fresh.accept_length(strategy, 1)
+        )
+
+    def test_never_exceeds_verify_budget(self):
+        model = ParametricAcceptance(e_max=100.0)
+        strategy = SdStrategy(draft_depth=30, topk=2, tokens_to_verify=4)
+        assert model.accept_length(strategy, 1) <= 5.0
+
+    def test_constant_model(self):
+        model = ConstantAcceptance(3.0)
+        strategy = SdStrategy(draft_depth=4, topk=2, tokens_to_verify=8)
+        assert model.accept_length(strategy, 1) == 3.0
+
+    def test_measured_lookup_and_default(self):
+        strategy = SdStrategy(draft_depth=4, topk=2, tokens_to_verify=8)
+        model = MeasuredAcceptance({(4, 2, 8): 3.5})
+        assert model.accept_length(strategy, 1) == 3.5
+        other = SdStrategy(draft_depth=6, topk=2, tokens_to_verify=8)
+        with pytest.raises(ConfigError):
+            model.accept_length(other, 1)
+        with_default = MeasuredAcceptance({(4, 2, 8): 3.5}, default=2.0)
+        assert with_default.accept_length(other, 1) == 2.0
+
+
+class TestAdaptiveManager:
+    def test_elastic_threshold(self):
+        manager = AdaptiveSdManager(
+            AdaptiveSdConfig(activation_threshold=32)
+        )
+        assert not manager.should_use_sd(100)
+        assert manager.should_use_sd(32)
+        assert manager.should_use_sd(1)
+
+    def test_switch_overhead_paid_once(self):
+        manager = AdaptiveSdManager(
+            AdaptiveSdConfig(activation_threshold=32,
+                             switch_overhead_s=3.0)
+        )
+        assert manager.engage(16) == 3.0
+        assert manager.engage(8) == 0.0
+        manager.reset()
+        assert manager.engage(16) == 3.0
+
+    def test_no_engage_above_threshold(self):
+        manager = AdaptiveSdManager(
+            AdaptiveSdConfig(activation_threshold=8)
+        )
+        assert manager.engage(100) == 0.0
+        assert manager.activations == 0
+
+
+class TestRolloutEngine:
+    def test_vanilla_profile_monotone(self, roofline):
+        engine = RolloutEngine(roofline)
+        rng = np.random.default_rng(0)
+        timeline = engine.simulate(long_tail_lengths(rng), 512)
+        actives = [p.active_requests for p in timeline.points]
+        assert actives == sorted(actives, reverse=True)
+        assert actives[-1] == 0
+        times = [p.time_s for p in timeline.points]
+        assert times == sorted(times)
+
+    def test_total_tokens(self, roofline):
+        engine = RolloutEngine(roofline)
+        lengths = [10, 20, 30]
+        timeline = engine.simulate(lengths, 100)
+        assert timeline.total_tokens == 60
+        assert timeline.prompt_tokens == 300
+
+    def test_sd_accelerates_long_tail(self, roofline):
+        rng = np.random.default_rng(0)
+        lengths = long_tail_lengths(rng)
+        vanilla = RolloutEngine(roofline).simulate(lengths, 512)
+        manager = AdaptiveSdManager(
+            AdaptiveSdConfig(activation_threshold=32)
+        )
+        adaptive = RolloutEngine(
+            roofline, sd_manager=manager
+        ).simulate(lengths, 512)
+        assert adaptive.total_time_s < vanilla.total_time_s
+        assert adaptive.sd_start_s is not None
+
+    def test_sd_starts_at_threshold(self, roofline):
+        """Figure 14: SD engages when actives cross the threshold."""
+        rng = np.random.default_rng(1)
+        lengths = long_tail_lengths(rng, n=128)
+        manager = AdaptiveSdManager(
+            AdaptiveSdConfig(activation_threshold=32)
+        )
+        timeline = RolloutEngine(
+            roofline, sd_manager=manager
+        ).simulate(lengths, 512)
+        assert timeline.sd_start_s is not None
+        for point in timeline.points:
+            if point.time_s < timeline.sd_start_s:
+                assert point.active_requests > 32 or not point.sd_active
+
+    def test_benefit_guard_blocks_useless_sd(self, roofline):
+        """With accept length 1 SD can never pay; the engine must fall
+        back to vanilla and finish in the same time."""
+        vanilla = RolloutEngine(roofline).simulate([100] * 8, 128)
+        manager = AdaptiveSdManager(
+            AdaptiveSdConfig(
+                activation_threshold=100,
+                acceptance=ConstantAcceptance(1.0),
+            )
+        )
+        guarded = RolloutEngine(
+            roofline, sd_manager=manager
+        ).simulate([100] * 8, 128)
+        assert guarded.total_time_s == pytest.approx(
+            vanilla.total_time_s, rel=1e-6
+        )
+        assert guarded.sd_cycles == 0
+
+    def test_empty_lengths_raise(self, roofline):
+        with pytest.raises(ConfigError):
+            RolloutEngine(roofline).simulate([], 128)
+
+    def test_mab_feedback_recorded(self, roofline):
+        rng = np.random.default_rng(2)
+        manager = AdaptiveSdManager(
+            AdaptiveSdConfig(activation_threshold=64)
+        )
+        RolloutEngine(roofline, sd_manager=manager).simulate(
+            long_tail_lengths(rng, n=32), 256
+        )
+        snapshot = manager.selector.snapshot()
+        assert any(v["observations"] > 0 for v in snapshot.values())

@@ -1,0 +1,238 @@
+"""Tests for draft-tree construction and tree verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.llm.model import contexts_from_sequences
+from repro.llm.sampler import temperature_probs
+from repro.specdec import SdStrategy, build_draft_tree, verify_tree
+from repro.specdec.engine import _initial_hidden
+
+
+@pytest.fixture()
+def prefix():
+    return [1, 5, 7, 9]
+
+
+class TestStrategyValidation:
+    def test_valid(self):
+        SdStrategy(draft_depth=4, topk=2, tokens_to_verify=8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(draft_depth=0, topk=1, tokens_to_verify=4),
+            dict(draft_depth=2, topk=0, tokens_to_verify=4),
+            dict(draft_depth=2, topk=2, tokens_to_verify=0),
+            dict(draft_depth=2, topk=8, tokens_to_verify=4),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            SdStrategy(**kwargs)
+
+    def test_describe(self):
+        s = SdStrategy(draft_depth=4, topk=2, tokens_to_verify=8)
+        assert s.describe() == "D=4 K=2 V=8"
+
+
+class TestBuildTree:
+    def test_budget_respected(self, target, trained_drafter, prefix):
+        rng = np.random.default_rng(0)
+        strategy = SdStrategy(draft_depth=6, topk=3, tokens_to_verify=12)
+        hidden = _initial_hidden(target, prefix)
+        tree = build_draft_tree(
+            trained_drafter, prefix, hidden, strategy, 0.9, rng
+        )
+        assert len(tree.nodes) <= strategy.tokens_to_verify
+        assert tree.num_selected == len(tree.nodes)
+
+    def test_depth_respected(self, target, trained_drafter, prefix):
+        rng = np.random.default_rng(1)
+        strategy = SdStrategy(draft_depth=2, topk=2, tokens_to_verify=16)
+        hidden = _initial_hidden(target, prefix)
+        tree = build_draft_tree(
+            trained_drafter, prefix, hidden, strategy, 0.9, rng
+        )
+        assert max(n.depth for n in tree.nodes) <= 2
+
+    def test_every_drawn_candidate_has_node(
+        self, target, trained_drafter, prefix
+    ):
+        """Losslessness invariant: no drawn candidate is ever pruned."""
+        rng = np.random.default_rng(2)
+        strategy = SdStrategy(draft_depth=4, topk=2, tokens_to_verify=10)
+        hidden = _initial_hidden(target, prefix)
+        tree = build_draft_tree(
+            trained_drafter, prefix, hidden, strategy, 0.9, rng
+        )
+        for token in tree.root_candidates:
+            assert token in tree.root_children
+        for node in tree.nodes:
+            for token in node.child_candidates:
+                assert token in node.child_nodes
+            assert node.selected
+
+    def test_parents_precede_children(
+        self, target, trained_drafter, prefix
+    ):
+        rng = np.random.default_rng(3)
+        strategy = SdStrategy(draft_depth=5, topk=2, tokens_to_verify=14)
+        hidden = _initial_hidden(target, prefix)
+        tree = build_draft_tree(
+            trained_drafter, prefix, hidden, strategy, 0.9, rng
+        )
+        position = {idx: pos for pos, idx in
+                    enumerate(tree.selected_indices)}
+        for idx in tree.selected_indices:
+            parent = tree.nodes[idx].parent
+            if parent != -1:
+                assert position[parent] < position[idx]
+
+    def test_path_prob_monotone(self, target, trained_drafter, prefix):
+        rng = np.random.default_rng(4)
+        strategy = SdStrategy(draft_depth=5, topk=2, tokens_to_verify=14)
+        hidden = _initial_hidden(target, prefix)
+        tree = build_draft_tree(
+            trained_drafter, prefix, hidden, strategy, 0.9, rng
+        )
+        for node in tree.nodes:
+            if node.parent != -1:
+                assert node.path_prob <= tree.nodes[node.parent].path_prob + 1e-12
+
+    def test_topk_mode_children_unique_and_sorted(
+        self, target, trained_drafter, prefix
+    ):
+        rng = np.random.default_rng(5)
+        strategy = SdStrategy(draft_depth=3, topk=3, tokens_to_verify=9)
+        hidden = _initial_hidden(target, prefix)
+        tree = build_draft_tree(
+            trained_drafter, prefix, hidden, strategy, 0.9, rng,
+            child_mode="topk",
+        )
+        assert len(set(tree.root_candidates)) == len(tree.root_candidates)
+        probs = [tree.root_dists[0][t] for t in tree.root_candidates]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestVerifyTree:
+    def test_always_commits_at_least_one_token(
+        self, target, untrained_drafter, prefix
+    ):
+        rng = np.random.default_rng(0)
+        strategy = SdStrategy(draft_depth=3, topk=2, tokens_to_verify=6)
+        hidden = _initial_hidden(target, prefix)
+        for _ in range(20):
+            tree = build_draft_tree(
+                untrained_drafter, prefix, hidden, strategy, 0.9, rng
+            )
+            result = verify_tree(target, tree, prefix, 0.9, rng)
+            assert len(result.accepted_tokens) >= 1
+            assert result.accepted_tokens[-1] == result.bonus_token
+
+    def test_accepted_tokens_form_tree_path(
+        self, target, trained_drafter, prefix
+    ):
+        rng = np.random.default_rng(1)
+        strategy = SdStrategy(draft_depth=4, topk=2, tokens_to_verify=10)
+        hidden = _initial_hidden(target, prefix)
+        for _ in range(20):
+            tree = build_draft_tree(
+                trained_drafter, prefix, hidden, strategy, 0.9, rng
+            )
+            result = verify_tree(target, tree, prefix, 0.9, rng)
+            children = tree.root_children
+            for token in result.accepted_tokens[:-1]:
+                assert token in children
+                node = tree.nodes[children[token]]
+                children = node.child_nodes
+
+    def test_verify_batch_is_selected_plus_root(
+        self, target, trained_drafter, prefix
+    ):
+        rng = np.random.default_rng(2)
+        strategy = SdStrategy(draft_depth=3, topk=2, tokens_to_verify=8)
+        hidden = _initial_hidden(target, prefix)
+        tree = build_draft_tree(
+            trained_drafter, prefix, hidden, strategy, 0.9, rng
+        )
+        result = verify_tree(target, tree, prefix, 0.9, rng)
+        assert result.verify_batch == tree.num_selected + 1
+
+    def test_next_hidden_matches_target_recompute(
+        self, target, trained_drafter, prefix
+    ):
+        """The hand-off hidden must equal the exact target hidden at the
+        position before the bonus token."""
+        rng = np.random.default_rng(3)
+        strategy = SdStrategy(draft_depth=3, topk=2, tokens_to_verify=6)
+        hidden = _initial_hidden(target, prefix)
+        tree = build_draft_tree(
+            trained_drafter, prefix, hidden, strategy, 0.9, rng
+        )
+        result = verify_tree(target, tree, prefix, 0.9, rng)
+        full = prefix + result.accepted_tokens
+        ctx = contexts_from_sequences(
+            [full[:-1]], target.config.context_window
+        )
+        _, hiddens = target.step(ctx)
+        expected = np.stack([h[0] for h in hiddens], axis=0)
+        assert np.allclose(result.next_hidden, expected)
+
+    def test_greedy_tree_matches_greedy_decode(
+        self, target, trained_drafter, prefix
+    ):
+        """At temperature 0 the committed tokens equal greedy decoding."""
+        rng = np.random.default_rng(4)
+        strategy = SdStrategy(draft_depth=4, topk=2, tokens_to_verify=10)
+        hidden = _initial_hidden(target, prefix)
+        tree = build_draft_tree(
+            trained_drafter, prefix, hidden, strategy, 0.0, rng,
+            child_mode="topk",
+        )
+        result = verify_tree(target, tree, prefix, 0.0, rng)
+        seq = list(prefix)
+        for committed in result.accepted_tokens:
+            ctx = contexts_from_sequences(
+                [seq], target.config.context_window
+            )
+            logits, _ = target.step(ctx)
+            assert committed == int(np.argmax(logits[0]))
+            seq.append(committed)
+
+    def test_first_token_distribution_lossless(
+        self, target, untrained_drafter, prefix
+    ):
+        """Statistical: first committed token ~ analytic target dist even
+        with an adversarial (untrained) drafter."""
+        temperature = 0.8
+        ctx = contexts_from_sequences(
+            [prefix], target.config.context_window
+        )
+        logits, _ = target.step(ctx)
+        p_true = temperature_probs(logits[0], temperature)
+        rng = np.random.default_rng(5)
+        strategy = SdStrategy(draft_depth=3, topk=2, tokens_to_verify=6)
+        hidden = _initial_hidden(target, prefix)
+        n = 6000
+        counts = np.zeros(target.config.vocab_size)
+        for _ in range(n):
+            tree = build_draft_tree(
+                untrained_drafter, prefix, hidden, strategy,
+                temperature, rng,
+            )
+            result = verify_tree(target, tree, prefix, temperature, rng)
+            counts[result.accepted_tokens[0]] += 1
+        mask = p_true * n >= 5
+        observed = counts[mask]
+        expected = p_true[mask] * n
+        tail_mass = p_true[~mask].sum() * n
+        if tail_mass > 0:
+            observed = np.append(observed, counts[~mask].sum())
+            expected = np.append(expected, tail_mass)
+        chi2 = float(np.sum((observed - expected) ** 2 / expected))
+        # dof ~ len(observed)-1; 99.9th percentile of chi2(24) ~ 51.2
+        assert chi2 < 52.0, f"chi2={chi2:.1f}"

@@ -1,0 +1,125 @@
+"""Tests for the Worker Coordinator state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.spot import WorkerCoordinator, WorkerState
+
+
+@pytest.fixture()
+def coordinator():
+    coord = WorkerCoordinator(idle_threshold=2)
+    for worker_id in range(4):
+        coord.register_worker(worker_id, num_gpus=8)
+    return coord
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self, coordinator):
+        with pytest.raises(SchedulingError):
+            coordinator.register_worker(0)
+
+    def test_initial_state_busy(self, coordinator):
+        assert coordinator.counts()[WorkerState.BUSY] == 4
+
+    def test_unknown_worker(self, coordinator):
+        with pytest.raises(SchedulingError):
+            coordinator.notify_state(99, WorkerState.IDLE)
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            WorkerCoordinator(idle_threshold=0)
+
+
+class TestPromotion:
+    def test_below_threshold_no_training(self, coordinator):
+        coordinator.notify_state(0, WorkerState.IDLE)
+        assert coordinator.promote_idle_workers() == []
+        assert coordinator.training_session is None
+
+    def test_threshold_triggers_training(self, coordinator):
+        coordinator.notify_state(0, WorkerState.IDLE)
+        coordinator.notify_state(1, WorkerState.IDLE)
+        promoted = coordinator.promote_idle_workers(now=10.0)
+        assert promoted == [0, 1]
+        assert coordinator.counts()[WorkerState.TRAINING] == 2
+
+    def test_leader_election_first_promoted(self, coordinator):
+        coordinator.notify_state(2, WorkerState.IDLE)
+        coordinator.notify_state(1, WorkerState.IDLE)
+        coordinator.promote_idle_workers()
+        # Lowest id among idle is promoted first and leads.
+        assert coordinator.leader_id == 1
+
+    def test_later_workers_join_session(self, coordinator):
+        coordinator.notify_state(0, WorkerState.IDLE)
+        coordinator.notify_state(1, WorkerState.IDLE)
+        coordinator.promote_idle_workers()
+        session = coordinator.training_session
+        assert session is not None
+        coordinator.notify_state(2, WorkerState.IDLE)
+        coordinator.promote_idle_workers()
+        assert coordinator.training_session.member_ids == [0, 1, 2]
+        assert coordinator.leader_id == 0  # leader unchanged
+
+    def test_once_session_live_single_idle_joins(self, coordinator):
+        coordinator.notify_state(0, WorkerState.IDLE)
+        coordinator.notify_state(1, WorkerState.IDLE)
+        coordinator.promote_idle_workers()
+        coordinator.notify_state(3, WorkerState.IDLE)
+        promoted = coordinator.promote_idle_workers()
+        assert promoted == [3]
+
+    def test_training_gpu_count(self, coordinator):
+        coordinator.notify_state(0, WorkerState.IDLE)
+        coordinator.notify_state(1, WorkerState.IDLE)
+        coordinator.promote_idle_workers()
+        assert coordinator.training_gpu_count() == 16
+
+
+class TestPreemption:
+    def test_preempt_returns_workers(self, coordinator):
+        coordinator.notify_state(0, WorkerState.IDLE)
+        coordinator.notify_state(1, WorkerState.IDLE)
+        coordinator.promote_idle_workers()
+        preempted = coordinator.preempt_training(now=20.0)
+        assert preempted == [0, 1]
+        assert coordinator.training_session is None
+        assert coordinator.counts()[WorkerState.IDLE] == 2
+
+    def test_preempt_without_session_noop(self, coordinator):
+        assert coordinator.preempt_training() == []
+
+    def test_rollout_complete_halts(self, coordinator):
+        coordinator.notify_state(0, WorkerState.IDLE)
+        coordinator.notify_state(1, WorkerState.IDLE)
+        coordinator.promote_idle_workers()
+        halted = coordinator.rollout_complete(now=30.0)
+        assert halted == [0, 1]
+        assert ("rollout_complete" in
+                [event for _, event in coordinator.events()])
+
+    def test_leader_flag_cleared_on_preempt(self, coordinator):
+        coordinator.notify_state(0, WorkerState.IDLE)
+        coordinator.notify_state(1, WorkerState.IDLE)
+        coordinator.promote_idle_workers()
+        coordinator.preempt_training()
+        assert coordinator.leader_id is None
+
+    def test_busy_notification_while_training(self, coordinator):
+        """A worker reclaimed by rollout reports BUSY; it leaves the
+        training pool."""
+        coordinator.notify_state(0, WorkerState.IDLE)
+        coordinator.notify_state(1, WorkerState.IDLE)
+        coordinator.promote_idle_workers()
+        coordinator.notify_state(0, WorkerState.BUSY, active_requests=5)
+        assert coordinator.counts()[WorkerState.TRAINING] == 1
+
+    def test_event_log_ordering(self, coordinator):
+        coordinator.notify_state(0, WorkerState.IDLE, now=1.0)
+        coordinator.notify_state(1, WorkerState.IDLE, now=2.0)
+        coordinator.promote_idle_workers(now=3.0)
+        times = [t for t, _ in coordinator.events()]
+        assert times == sorted(times)

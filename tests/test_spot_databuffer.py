@@ -1,0 +1,113 @@
+"""Tests for the Online DataBuffer (one-step-offset sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.drafter.training import TrainingSequence
+from repro.errors import BufferError_
+from repro.spot import OnlineDataBuffer
+
+
+def make_seq(length: int, step: int = 0) -> TrainingSequence:
+    return TrainingSequence(
+        tokens=np.arange(length) % 20,
+        hidden_stacks=np.zeros((length, 2, 4)),
+        step_index=step,
+    )
+
+
+class TestLifecycle:
+    def test_add_and_count(self):
+        buf = OnlineDataBuffer(capacity_tokens=1000)
+        buf.begin_step(0)
+        buf.add([make_seq(10), make_seq(20)])
+        assert buf.num_sequences == 2
+        assert buf.total_tokens == 30
+
+    def test_steps_must_not_decrease(self):
+        buf = OnlineDataBuffer()
+        buf.begin_step(3)
+        with pytest.raises(BufferError_):
+            buf.begin_step(2)
+
+    def test_eviction_oldest_first(self):
+        buf = OnlineDataBuffer(capacity_tokens=50)
+        buf.begin_step(0)
+        buf.add([make_seq(30)])
+        buf.begin_step(1)
+        buf.add([make_seq(30)])
+        assert buf.stats().steps == [1]
+        assert buf.total_tokens == 30
+
+    def test_current_step_never_evicted(self):
+        buf = OnlineDataBuffer(capacity_tokens=10)
+        buf.begin_step(0)
+        buf.add([make_seq(30)])  # oversized but current
+        assert buf.num_sequences == 1
+
+    def test_stats(self):
+        buf = OnlineDataBuffer()
+        buf.begin_step(2)
+        buf.add([make_seq(5)])
+        stats = buf.stats()
+        assert stats.current_step == 2
+        assert stats.num_sequences == 1
+
+
+class TestOneStepOffsetSampling:
+    def test_long_sequences_from_previous_step(self):
+        buf = OnlineDataBuffer(long_fraction=0.5)
+        buf.begin_step(0)
+        buf.add([make_seq(100), make_seq(90), make_seq(10)])
+        buf.begin_step(1)
+        buf.add([make_seq(5), make_seq(6), make_seq(7), make_seq(8)])
+        sample = buf.sample_sequences(4, np.random.default_rng(0))
+        prev = [s for s in sample if s.step_index == 0]
+        # Half the batch from the previous step, longest first.
+        assert len(prev) == 2
+        assert {s.length for s in prev} == {100, 90}
+
+    def test_all_current_when_no_previous(self):
+        buf = OnlineDataBuffer(long_fraction=0.5)
+        buf.begin_step(0)
+        buf.add([make_seq(5), make_seq(6), make_seq(7)])
+        sample = buf.sample_sequences(3, np.random.default_rng(0))
+        assert all(s.step_index == 0 for s in sample)
+
+    def test_backfill_from_previous_when_current_small(self):
+        buf = OnlineDataBuffer(long_fraction=0.25)
+        buf.begin_step(0)
+        buf.add([make_seq(50), make_seq(40), make_seq(30), make_seq(20)])
+        buf.begin_step(1)
+        buf.add([make_seq(5)])
+        sample = buf.sample_sequences(4, np.random.default_rng(0))
+        assert len(sample) == 4
+
+    def test_empty_raises(self):
+        buf = OnlineDataBuffer()
+        with pytest.raises(BufferError_):
+            buf.sample_sequences(1, np.random.default_rng(0))
+
+    def test_zero_long_fraction(self):
+        buf = OnlineDataBuffer(long_fraction=0.0)
+        buf.begin_step(0)
+        buf.add([make_seq(100)])
+        buf.begin_step(1)
+        buf.add([make_seq(5), make_seq(6)])
+        sample = buf.sample_sequences(2, np.random.default_rng(0))
+        assert all(s.step_index == 1 for s in sample)
+
+    def test_count_validation(self):
+        buf = OnlineDataBuffer()
+        buf.begin_step(0)
+        buf.add([make_seq(5)])
+        with pytest.raises(BufferError_):
+            buf.sample_sequences(0, np.random.default_rng(0))
+
+    def test_validation(self):
+        with pytest.raises(BufferError_):
+            OnlineDataBuffer(capacity_tokens=0)
+        with pytest.raises(BufferError_):
+            OnlineDataBuffer(long_fraction=1.5)

@@ -1,0 +1,146 @@
+"""Tests for statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import (
+    OnlineMeanVar,
+    SlidingWindow,
+    describe,
+    exponential_moving_average,
+    geometric_mean,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+class TestEma:
+    def test_first_value_passthrough(self):
+        assert exponential_moving_average([5.0, 5.0], 0.5) == [5.0, 5.0]
+
+    def test_alpha_one_is_identity(self):
+        values = [1.0, 7.0, 3.0]
+        assert exponential_moving_average(values, 1.0) == values
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            exponential_moving_average([1.0], 0.0)
+
+    def test_smoothing_reduces_jump(self):
+        out = exponential_moving_average([0.0, 10.0], 0.3)
+        assert out[1] == pytest.approx(3.0)
+
+
+class TestDescribe:
+    def test_keys_and_values(self):
+        summary = describe([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+
+class TestOnlineMeanVar:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=100)
+        acc = OnlineMeanVar()
+        acc.update_many(data)
+        assert acc.mean == pytest.approx(float(np.mean(data)))
+        assert acc.variance == pytest.approx(float(np.var(data)))
+
+    def test_empty_variance_zero(self):
+        assert OnlineMeanVar().variance == 0.0
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50))
+    def test_property_matches_numpy(self, values):
+        acc = OnlineMeanVar()
+        acc.update_many(values)
+        assert acc.mean == pytest.approx(float(np.mean(values)), abs=1e-6)
+        assert acc.std == pytest.approx(float(np.std(values)), abs=1e-6)
+
+
+class TestSlidingWindow:
+    def test_eviction_at_capacity(self):
+        win = SlidingWindow(3)
+        for v in [1, 2, 3, 4]:
+            win.append(v)
+        assert win.values() == [2, 3, 4]
+
+    def test_median(self):
+        win = SlidingWindow(5)
+        for v in [5, 1, 3]:
+            win.append(v)
+        assert win.median() == 3
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(2).median()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+    def test_len_and_iter(self):
+        win = SlidingWindow(4)
+        win.append(1.0)
+        win.append(2.0)
+        assert len(win) == 2
+        assert list(win) == [1.0, 2.0]
+
+    def test_is_empty(self):
+        win = SlidingWindow(2)
+        assert win.is_empty
+        win.append(0.0)
+        assert not win.is_empty
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+           st.integers(1, 10))
+    def test_property_window_is_suffix(self, values, capacity):
+        win = SlidingWindow(capacity)
+        for v in values:
+            win.append(v)
+        assert win.values() == values[-capacity:]

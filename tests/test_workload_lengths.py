@@ -1,0 +1,150 @@
+"""Tests for long-tail length models and trace synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workload import (
+    EmpiricalLengths,
+    LognormalLengths,
+    ParetoLengths,
+    length_statistics,
+    synthesize_trace,
+)
+from repro.workload.lengths import tail_fraction
+
+
+class TestLognormal:
+    def test_bounds(self):
+        model = LognormalLengths(median=1000, sigma=1.0, cap=5000)
+        lengths = model.sample(np.random.default_rng(0), 2000)
+        assert lengths.min() >= 1
+        assert lengths.max() <= 5000
+
+    def test_median_roughly_respected(self):
+        model = LognormalLengths(median=1000, sigma=1.0, cap=100_000)
+        lengths = model.sample(np.random.default_rng(0), 5000)
+        assert 800 < np.median(lengths) < 1250
+
+    def test_long_tail_shape(self):
+        """Most requests short, a few near the cap — the Figure 1a shape."""
+        model = LognormalLengths(median=2500, sigma=1.1, cap=30_000)
+        lengths = model.sample(np.random.default_rng(0), 5000)
+        assert np.median(lengths) < 0.15 * lengths.max()
+        assert (lengths >= 0.8 * 30_000).sum() >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(median=0), dict(sigma=0), dict(cap=0)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            LognormalLengths(**kwargs)
+
+    def test_negative_count(self):
+        model = LognormalLengths()
+        with pytest.raises(ConfigError):
+            model.sample(np.random.default_rng(0), -1)
+
+
+class TestPareto:
+    def test_bounds(self):
+        model = ParetoLengths(minimum=100, alpha=1.5, cap=10_000)
+        lengths = model.sample(np.random.default_rng(0), 2000)
+        assert lengths.min() >= 100
+        assert lengths.max() <= 10_000
+
+    def test_heavier_tail_than_lognormal(self):
+        rng = np.random.default_rng(0)
+        pareto = ParetoLengths(minimum=500, alpha=1.2, cap=10**7)
+        sample = pareto.sample(rng, 5000)
+        # Pareto(1.2): p99/p50 is large.
+        assert np.percentile(sample, 99) / np.percentile(sample, 50) > 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ParetoLengths(minimum=0)
+
+
+class TestEmpirical:
+    def test_resamples_observed(self):
+        model = EmpiricalLengths([5, 10, 20], cap=100)
+        sample = model.sample(np.random.default_rng(0), 100)
+        assert set(np.unique(sample)).issubset({5, 10, 20})
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            EmpiricalLengths([], cap=10)
+
+    def test_cap_applied(self):
+        model = EmpiricalLengths([5, 500], cap=100)
+        sample = model.sample(np.random.default_rng(0), 50)
+        assert sample.max() <= 100
+
+
+class TestStatistics:
+    def test_keys(self):
+        stats = length_statistics([1, 2, 3, 100])
+        assert stats["max"] == 100
+        assert stats["q3_max_gap"] == pytest.approx(100 - stats["p75"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            length_statistics([])
+
+    def test_tail_fraction(self):
+        assert tail_fraction([1, 1, 1, 10], 0.5) == pytest.approx(0.25)
+
+    def test_tail_fraction_validation(self):
+        with pytest.raises(ConfigError):
+            tail_fraction([1], 0.0)
+
+
+class TestTrace:
+    def test_shape_and_growth(self):
+        trace = synthesize_trace(
+            60, np.random.default_rng(0), cap=20_480,
+            requests_per_step=256,
+        )
+        assert trace.num_steps == 60
+        p50 = trace.series("p50")
+        # Median grows over training.
+        assert np.mean(p50[-10:]) > np.mean(p50[:10])
+
+    def test_max_pinned_at_cap_most_steps(self):
+        trace = synthesize_trace(
+            60, np.random.default_rng(0), cap=20_480,
+            requests_per_step=512,
+        )
+        assert trace.cap_hit_fraction > 0.5
+
+    def test_under_utilized_gap(self):
+        """p75 stays well below the max (Figure 2's shaded zone)."""
+        trace = synthesize_trace(
+            40, np.random.default_rng(1), cap=20_480,
+            requests_per_step=512,
+        )
+        gaps = trace.series("max_length") - trace.series("p75")
+        assert np.mean(gaps) > 0.3 * 20_480
+
+    def test_total_days_accounting(self):
+        trace = synthesize_trace(
+            10, np.random.default_rng(0), requests_per_step=64
+        )
+        # 10 steps * 40 min + 2 evals * 20 min = 440 min.
+        assert trace.total_days == pytest.approx(440 / (60 * 24))
+
+    def test_unknown_series_raises(self):
+        trace = synthesize_trace(
+            5, np.random.default_rng(0), requests_per_step=64
+        )
+        with pytest.raises(ConfigError):
+            trace.series("nope")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            synthesize_trace(0, np.random.default_rng(0))
