@@ -36,7 +36,13 @@ from repro.drafter import (
     TrainingStrategy,
 )
 from repro.llm import TinyLM, TinyLMConfig, Vocabulary, generate
-from repro.rl import RlConfig, RlTrainer, SpeculativeRollout, VanillaRollout
+from repro.rl import (
+    AdaptiveSpeculativeRollout,
+    RlConfig,
+    RlTrainer,
+    SpeculativeRollout,
+    VanillaRollout,
+)
 from repro.specdec import (
     SdStrategy,
     default_strategy_pool,
@@ -66,5 +72,6 @@ __all__ = [
     "RlConfig",
     "VanillaRollout",
     "SpeculativeRollout",
+    "AdaptiveSpeculativeRollout",
     "__version__",
 ]

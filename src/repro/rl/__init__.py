@@ -24,6 +24,7 @@ from repro.rl.algorithms import (
 )
 from repro.rl.kl import kl_estimate, kl_grad_coef
 from repro.rl.rollout_backends import (
+    AdaptiveSpeculativeRollout,
     RolloutBackend,
     RolloutResult,
     SpeculativeRollout,
@@ -44,6 +45,7 @@ __all__ = [
     "RolloutResult",
     "VanillaRollout",
     "SpeculativeRollout",
+    "AdaptiveSpeculativeRollout",
     "RlConfig",
     "RlStepReport",
     "RlTrainer",

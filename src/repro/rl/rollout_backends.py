@@ -1,4 +1,4 @@
-"""Rollout backends: vanilla decoding vs speculative decoding.
+"""Rollout backends: vanilla, speculative, and adaptive-speculative.
 
 The RL trainer is backend-agnostic; swapping :class:`VanillaRollout` for
 :class:`SpeculativeRollout` is the TLT integration point.  Because the SD
@@ -6,6 +6,15 @@ engine is mathematically lossless, both backends sample responses from the
 *same* distribution — which is what makes the Figure 12 reward curves
 overlap — while the speculative backend needs far fewer target-model
 forward launches.
+
+All speculative backends run the continuous-batching engine
+(:class:`~repro.specdec.batch_engine.BatchedSpecDecodeEngine`): sequences
+retire individually and waiting prompts are admitted into freed slots, so
+one target launch serves every live sequence per cycle.
+:class:`AdaptiveSpeculativeRollout` additionally attaches an
+:class:`~repro.rollout.adaptive.AdaptiveSdManager`, whose elastic
+threshold and BEG-MAB selector are driven by the engine's *real*
+per-cycle live-batch sizes and measured accept lengths.
 """
 
 from __future__ import annotations
@@ -19,6 +28,8 @@ import numpy as np
 from repro.drafter.base import Drafter
 from repro.llm.generation import generate
 from repro.llm.model import TinyLM
+from repro.rollout.adaptive import AdaptiveSdConfig, AdaptiveSdManager
+from repro.specdec.batch_engine import BatchedSpecDecodeEngine
 from repro.specdec.engine import speculative_generate
 from repro.specdec.strategy import SdStrategy
 
@@ -107,11 +118,13 @@ class SpeculativeRollout(RolloutBackend):
         strategy: SdStrategy,
         child_mode: str = "sample",
         feed_ngram: bool = True,
+        max_batch_size: Optional[int] = None,
     ) -> None:
         self.drafter = drafter
         self.strategy = strategy
         self.child_mode = child_mode
         self.feed_ngram = feed_ngram
+        self.max_batch_size = max_batch_size
 
     def generate(self, policy, prompts, max_new_tokens, temperature, rng):
         out = speculative_generate(
@@ -123,6 +136,7 @@ class SpeculativeRollout(RolloutBackend):
             rng,
             strategy=self.strategy,
             child_mode=self.child_mode,  # type: ignore[arg-type]
+            max_batch_size=self.max_batch_size,
         )
         if self.feed_ngram and not self.drafter.trainable:
             self.drafter.observe_rollouts(out.responses)
@@ -136,5 +150,85 @@ class SpeculativeRollout(RolloutBackend):
                 "accept_length": metrics.mean_accept_length,
                 "cycles": float(metrics.num_cycles),
                 "draft_efficiency": metrics.draft_efficiency,
+            },
+        )
+
+
+class AdaptiveSpeculativeRollout(RolloutBackend):
+    """Continuous-batching rollout with elastic adaptive SD (full TLT).
+
+    The engine reports its live-batch size to the manager every cycle:
+    above the elastic activation threshold the batch decodes vanilla (one
+    batched forward per token), below it the manager's BEG-MAB selector
+    picks the strategy and absorbs the cycle's *measured* accept lengths
+    — the algorithmic counterpart of the paper's Figure 14 dynamics.
+
+    Args:
+        drafter: the draft model (shared across steps so spot training
+            between steps improves later rollouts).
+        sd_config: adaptive-manager configuration (threshold, strategy
+            pool, selector); a default manager is built from it when
+            ``manager`` is omitted.
+        manager: pre-built manager to reuse (keeps bandit state across
+            rollouts — the non-stationary setting BEG-MAB targets).
+        child_mode: tree child expansion mode (``sample`` = lossless).
+        use_tree: tree-based drafting (default) or linear chains.
+        max_batch_size: live-slot capacity of the scheduler.
+        feed_ngram: feed finished responses back into retrieval drafters.
+    """
+
+    name = "adaptive-speculative"
+
+    def __init__(
+        self,
+        drafter: Drafter,
+        sd_config: Optional[AdaptiveSdConfig] = None,
+        manager: Optional[AdaptiveSdManager] = None,
+        child_mode: str = "sample",
+        use_tree: bool = True,
+        max_batch_size: Optional[int] = None,
+        feed_ngram: bool = True,
+    ) -> None:
+        self.drafter = drafter
+        self.manager = manager or AdaptiveSdManager(
+            sd_config or AdaptiveSdConfig()
+        )
+        self.child_mode = child_mode
+        self.use_tree = use_tree
+        self.max_batch_size = max_batch_size
+        self.feed_ngram = feed_ngram
+
+    def generate(self, policy, prompts, max_new_tokens, temperature, rng):
+        engine = BatchedSpecDecodeEngine(
+            policy,
+            self.drafter,
+            strategy=None,
+            temperature=temperature,
+            child_mode=self.child_mode,  # type: ignore[arg-type]
+            use_tree=self.use_tree,
+            max_batch_size=self.max_batch_size,
+            sd_manager=self.manager,
+        )
+        activations_before = self.manager.activations
+        result = engine.generate(prompts, max_new_tokens, rng)
+        responses = [slot.response for slot in result.slots]
+        if self.feed_ngram and not self.drafter.trainable:
+            self.drafter.observe_rollouts(responses)
+        metrics = result.metrics
+        return RolloutResult(
+            prompts=[slot.request.prompt for slot in result.slots],
+            responses=responses,
+            finished=[slot.done for slot in result.slots],
+            target_steps=result.target_steps,
+            stats={
+                "accept_length": metrics.mean_accept_length,
+                "cycles": float(metrics.num_cycles),
+                "draft_efficiency": metrics.draft_efficiency,
+                "sd_cycles": float(result.sd_cycles),
+                "vanilla_cycles": float(result.vanilla_cycles),
+                "max_live_batch": float(result.max_live_batch),
+                "sd_activations": float(
+                    self.manager.activations - activations_before
+                ),
             },
         )

@@ -98,9 +98,23 @@ class AdaptiveSdManager:
 
         The first activation within a rollout pays the re-prefill cost
         (the drafter must build hidden states for live sequences).
+
+        Contract: callers must check :meth:`should_use_sd` first — the
+        elastic rule is the manager's single decision point, and an engine
+        engaging SD above the threshold has a policy bug it should hear
+        about rather than silently pay zero overhead for.
+
+        Raises:
+            ConfigError: when ``running_requests`` is above the
+                activation threshold (``should_use_sd`` is False).
         """
         if not self.should_use_sd(running_requests):
-            return 0.0
+            raise ConfigError(
+                f"engage() called with {running_requests} running requests, "
+                "above the activation threshold "
+                f"{self.config.activation_threshold}; check should_use_sd() "
+                "before engaging"
+            )
         if self._sd_active:
             return 0.0
         self._sd_active = True

@@ -156,9 +156,6 @@ class RolloutEngine:
                         strategy.tokens_to_verify,
                         context_tokens=context,
                     )
-                    self.sd_manager.record(
-                        strategy, cycle_s, [accept - 1.0] * batch, batch
-                    )
                     # The manager balances "speculative gains against
                     # computational overhead" (§5.1): fall back to vanilla
                     # decoding whenever SD would not pay at this batch.
@@ -166,9 +163,16 @@ class RolloutEngine:
                         use_sd = False
                 if use_sd:
                     assert self.sd_manager is not None
+                    # Feed the bandit only cycles that actually execute;
+                    # measurements for skipped cycles would bias the
+                    # strategy selection toward unpayable arms.
+                    self.sd_manager.record(
+                        strategy, cycle_s, [accept - 1.0] * batch, batch
+                    )
                     switch = self.sd_manager.engage(batch)
-                    if switch > 0.0:
+                    if sd_start is None:
                         sd_start = time_s
+                    if switch > 0.0:
                         time_s += switch
                         sd_time += switch
                     cycles = delta / accept

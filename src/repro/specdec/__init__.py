@@ -13,18 +13,39 @@ from repro.specdec.acceptance import (
     multi_round_accept,
     residual_distribution,
 )
+from repro.specdec.batch_engine import (
+    BatchedGenerationResult,
+    BatchedSpecDecodeEngine,
+)
 from repro.specdec.engine import (
     SpeculativeGenerationOutput,
     speculative_generate,
 )
-from repro.specdec.linear import LinearDraftResult, linear_decode_step
+from repro.specdec.linear import (
+    LinearDraftResult,
+    draft_chain,
+    linear_decode_step,
+    linear_decode_steps,
+)
 from repro.specdec.metrics import (
     AcceptanceProfile,
     SdCycleStats,
     SdRunMetrics,
 )
+from repro.specdec.scheduler import (
+    BatchCycleReport,
+    ContinuousBatchScheduler,
+    SequenceRequest,
+    SequenceSlot,
+)
 from repro.specdec.strategy import SdStrategy, default_strategy_pool
-from repro.specdec.tree import DraftTree, TreeNode, build_draft_tree, verify_tree
+from repro.specdec.tree import (
+    DraftTree,
+    TreeNode,
+    build_draft_tree,
+    verify_tree,
+    verify_trees,
+)
 
 __all__ = [
     "SdStrategy",
@@ -37,10 +58,19 @@ __all__ = [
     "TreeNode",
     "build_draft_tree",
     "verify_tree",
+    "verify_trees",
     "LinearDraftResult",
+    "draft_chain",
     "linear_decode_step",
+    "linear_decode_steps",
     "speculative_generate",
     "SpeculativeGenerationOutput",
+    "BatchedSpecDecodeEngine",
+    "BatchedGenerationResult",
+    "BatchCycleReport",
+    "ContinuousBatchScheduler",
+    "SequenceRequest",
+    "SequenceSlot",
     "SdCycleStats",
     "SdRunMetrics",
     "AcceptanceProfile",

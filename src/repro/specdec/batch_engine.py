@@ -1,0 +1,362 @@
+"""Batched continuous-batching speculative generation engine.
+
+This is the serving-shaped counterpart of the per-sequence loop that used
+to live in :mod:`repro.specdec.engine`: every cycle it drafts a candidate
+set for **each live sequence**, verifies all of them in **one** batched
+target forward (:func:`~repro.specdec.tree.verify_trees` /
+:func:`~repro.specdec.linear.linear_decode_steps`), commits per-sequence,
+retires sequences on EOS or their length cap and admits waiting requests
+into the freed slots.  The target-launch count therefore scales with the
+number of *cycles of the slowest sequence*, not with the sum of
+per-sequence cycles — the long-tail regime the paper analyzes.
+
+Two properties are load-bearing:
+
+* **Losslessness** — each request owns a private random stream (see
+  :mod:`repro.specdec.scheduler`), drafting/acceptance consume it in the
+  same order regardless of batching, and batched target rows are
+  numerically identical to per-sequence rows; under a static strategy,
+  committed tokens are therefore token-for-token equal to sequential
+  decoding under a fixed seed in ``sample`` child mode.  (With an
+  attached manager the elastic SD/vanilla decision reads the live-batch
+  size, so the slot capacity legitimately shapes the output.)
+* **Real batch dynamics** — when an
+  :class:`~repro.rollout.adaptive.AdaptiveSdManager` is attached, each
+  cycle consults it with the *actual* live-batch size: above the elastic
+  threshold the cycle decodes vanilla (one token per sequence in one
+  forward), below it the manager's BEG-MAB selector picks the strategy
+  and is fed the cycle's measured accept lengths against a deterministic
+  work-proxy cost (verification rows + drafter steps), so adaptive runs
+  stay seed-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.drafter.base import Drafter
+from repro.errors import SpecDecodeError
+from repro.llm.model import TinyLM, contexts_from_sequences
+from repro.llm.sampler import sample_from_probs, temperature_probs
+from repro.llm.vocab import BOS_ID, EOS_ID
+from repro.specdec.engine import initial_hiddens
+from repro.specdec.linear import linear_decode_steps
+from repro.specdec.metrics import SdCycleStats, SdRunMetrics
+from repro.specdec.scheduler import (
+    BatchCycleReport,
+    ContinuousBatchScheduler,
+    SequenceRequest,
+    SequenceSlot,
+)
+from repro.specdec.strategy import SdStrategy
+from repro.specdec.tree import ChildMode, build_draft_tree, verify_trees
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.rollout.adaptive import AdaptiveSdManager
+
+
+@dataclass
+class BatchedGenerationResult:
+    """Raw output of one :meth:`BatchedSpecDecodeEngine.generate` run.
+
+    Attributes:
+        slots: finished per-request decoding slots in request order.
+        metrics: aggregate draft/accept statistics across all sequences.
+        target_steps: batched target forward launches (prefill waves,
+            SD verifications and vanilla steps each count once).
+        cycle_reports: per-cycle live-batch trail.
+    """
+
+    slots: List[SequenceSlot]
+    metrics: SdRunMetrics
+    target_steps: int
+    cycle_reports: List[BatchCycleReport]
+
+    @property
+    def max_live_batch(self) -> int:
+        """Largest live batch observed across cycles."""
+        if not self.cycle_reports:
+            return 0
+        return max(r.live_batch for r in self.cycle_reports)
+
+    @property
+    def sd_cycles(self) -> int:
+        """Cycles that ran speculative decoding."""
+        return sum(1 for r in self.cycle_reports if r.sd_active)
+
+    @property
+    def vanilla_cycles(self) -> int:
+        """Cycles that decoded vanilla (above the elastic threshold)."""
+        return sum(1 for r in self.cycle_reports if not r.sd_active)
+
+
+class BatchedSpecDecodeEngine:
+    """Continuous-batching speculative decoding over a TinyLM target.
+
+    Args:
+        target: the target model.
+        drafter: the draft model.
+        strategy: static SD configuration (may be None when a manager is
+            attached — the manager then selects the strategy per cycle).
+        temperature: sampling temperature shared by drafter and target.
+        child_mode: tree child expansion mode (``sample`` is lossless).
+        use_tree: tree-based drafting (default) or linear chains.
+        max_batch_size: live-slot capacity (None = all prompts live at
+            once; 1 = fully sequential decoding).
+        sd_manager: optional adaptive SD manager driven by the real
+            live-batch size each cycle.
+    """
+
+    def __init__(
+        self,
+        target: TinyLM,
+        drafter: Drafter,
+        strategy: Optional[SdStrategy],
+        temperature: float,
+        child_mode: ChildMode = "sample",
+        use_tree: bool = True,
+        max_batch_size: Optional[int] = None,
+        sd_manager: Optional["AdaptiveSdManager"] = None,
+    ) -> None:
+        if strategy is None and sd_manager is None:
+            raise SpecDecodeError(
+                "either a static strategy or an sd_manager is required"
+            )
+        self.target = target
+        self.drafter = drafter
+        self.strategy = strategy
+        self.temperature = temperature
+        self.child_mode = child_mode
+        self.use_tree = use_tree
+        self.max_batch_size = max_batch_size
+        self.sd_manager = sd_manager
+
+    # -- public API --------------------------------------------------------
+
+    def generate(
+        self,
+        prompts: Sequence[Sequence[int]],
+        max_new_tokens: int,
+        rng: np.random.Generator,
+        add_bos: bool = True,
+    ) -> BatchedGenerationResult:
+        """Decode ``prompts`` to completion under continuous batching.
+
+        Args:
+            prompts: token-id prompts in request order.
+            max_new_tokens: per-sequence response-length cap.
+            rng: master generator; one seed per request is drawn up front
+                so scheduling never changes any sequence's randomness.
+            add_bos: prepend BOS to each prompt.
+
+        Returns:
+            A :class:`BatchedGenerationResult` (request order preserved).
+        """
+        if max_new_tokens < 1:
+            raise SpecDecodeError(
+                f"max_new_tokens must be >= 1, got {max_new_tokens}"
+            )
+        requests = self._make_requests(prompts, max_new_tokens, rng, add_bos)
+        scheduler = ContinuousBatchScheduler(requests, self.max_batch_size)
+        if self.sd_manager is not None:
+            self.sd_manager.reset()
+
+        metrics = SdRunMetrics()
+        target_steps = 0
+        reports: List[BatchCycleReport] = []
+        while scheduler.has_work:
+            admitted = scheduler.admit()
+            target_steps += self._prefill(admitted)
+            live = list(scheduler.live)
+            batch = len(live)
+            strategy = self.strategy
+            sd_active = True
+            if self.sd_manager is not None:
+                if self.sd_manager.should_use_sd(batch):
+                    self.sd_manager.engage(batch)
+                    strategy = self.sd_manager.select_strategy(batch)
+                else:
+                    sd_active = False
+            if sd_active:
+                assert strategy is not None
+                cycle_stats = self._sd_cycle(live, strategy, metrics)
+                target_steps += 1
+                if self.sd_manager is not None:
+                    # Cost proxy: rows pushed through the target plus
+                    # drafter steps.  Deterministic (unlike wall-clock,
+                    # which would let a CPU spike flip the bandit's arm
+                    # choice and break seeded reproducibility) while
+                    # still charging verification-heavy strategies more.
+                    cost = float(
+                        sum(
+                            c.verify_batch + c.draft_steps
+                            for c in cycle_stats
+                        )
+                    )
+                    self.sd_manager.record(
+                        strategy,
+                        cost,
+                        [float(c.accepted) for c in cycle_stats],
+                        batch,
+                    )
+                committed = sum(c.committed for c in cycle_stats)
+                drafted = sum(c.drafted for c in cycle_stats)
+                verify_rows = sum(c.verify_batch for c in cycle_stats)
+            else:
+                self._vanilla_cycle(live)
+                target_steps += 1
+                committed = batch
+                drafted = 0
+                verify_rows = batch
+            retired = scheduler.retire_finished()
+            reports.append(
+                BatchCycleReport(
+                    index=len(reports),
+                    live_batch=batch,
+                    admitted=len(admitted),
+                    retired=len(retired),
+                    sd_active=sd_active,
+                    strategy=strategy if sd_active else None,
+                    committed_tokens=committed,
+                    drafted_tokens=drafted,
+                    verify_rows=verify_rows,
+                )
+            )
+
+        return BatchedGenerationResult(
+            slots=scheduler.results(),
+            metrics=metrics,
+            target_steps=target_steps,
+            cycle_reports=reports,
+        )
+
+    # -- cycle stages ------------------------------------------------------
+
+    def _make_requests(
+        self,
+        prompts: Sequence[Sequence[int]],
+        max_new_tokens: int,
+        rng: np.random.Generator,
+        add_bos: bool,
+    ) -> List[SequenceRequest]:
+        """Build requests with private per-request random streams."""
+        prompt_lists = [
+            ([BOS_ID] + list(map(int, p))) if add_bos else list(map(int, p))
+            for p in prompts
+        ]
+        seeds = rng.integers(
+            0, np.iinfo(np.int64).max, size=len(prompt_lists)
+        )
+        return [
+            SequenceRequest(
+                request_id=i,
+                prompt=prompt,
+                max_new_tokens=max_new_tokens,
+                rng=np.random.default_rng(int(seed)),
+            )
+            for i, (prompt, seed) in enumerate(zip(prompt_lists, seeds))
+        ]
+
+    def _prefill(self, admitted: Sequence[SequenceSlot]) -> int:
+        """Hand the drafter its hidden state for newly admitted slots.
+
+        All admissible prefixes are pushed through ONE batched target
+        forward; returns the number of launches spent (0 or 1).
+        """
+        if not admitted:
+            return 0
+        hiddens = initial_hiddens(
+            self.target, [slot.sequence for slot in admitted]
+        )
+        for slot, hidden in zip(admitted, hiddens):
+            slot.hidden = hidden
+        return int(any(h is not None for h in hiddens))
+
+    def _sd_cycle(
+        self,
+        live: List[SequenceSlot],
+        strategy: SdStrategy,
+        metrics: SdRunMetrics,
+    ) -> List[SdCycleStats]:
+        """One draft/verify cycle across every live sequence."""
+        cycle_stats: List[SdCycleStats] = []
+        if self.use_tree:
+            trees = [
+                build_draft_tree(
+                    self.drafter,
+                    slot.sequence,
+                    slot.hidden,
+                    strategy,
+                    self.temperature,
+                    slot.rng,
+                    child_mode=self.child_mode,
+                )
+                for slot in live
+            ]
+            results = verify_trees(
+                self.target,
+                trees,
+                [slot.sequence for slot in live],
+                self.temperature,
+                [slot.rng for slot in live],
+            )
+            for slot, tree, result in zip(live, trees, results):
+                stats = SdCycleStats(
+                    accepted=result.accepted_node_count,
+                    committed=slot.commit(result.accepted_tokens, EOS_ID),
+                    drafted=tree.num_selected,
+                    draft_steps=tree.draft_steps,
+                    verify_batch=result.verify_batch,
+                )
+                metrics.profile.record(
+                    result.depth_attempts, result.depth_accepts
+                )
+                slot.hidden = result.next_hidden
+                metrics.add_cycle(stats)
+                cycle_stats.append(stats)
+        else:
+            results = linear_decode_steps(
+                self.target,
+                self.drafter,
+                [slot.sequence for slot in live],
+                [slot.hidden for slot in live],
+                strategy.draft_depth,
+                self.temperature,
+                [slot.rng for slot in live],
+            )
+            for slot, result in zip(live, results):
+                stats = SdCycleStats(
+                    accepted=result.accepted_count,
+                    committed=slot.commit(result.accepted_tokens, EOS_ID),
+                    drafted=result.drafted_count,
+                    draft_steps=result.drafted_count,
+                    verify_batch=result.verify_batch,
+                )
+                metrics.profile.record_flags(result.accept_flags)
+                slot.hidden = result.next_hidden
+                metrics.add_cycle(stats)
+                cycle_stats.append(stats)
+        return cycle_stats
+
+    def _vanilla_cycle(self, live: List[SequenceSlot]) -> None:
+        """Commit one vanilla-decoded token per live sequence.
+
+        The step's hidden states at the (pre-commit) last position become
+        each sequence's drafter hand-off — the second-to-last position of
+        the extended sequence — so a later switch to SD pays no extra
+        re-prefill forward.
+        """
+        contexts = contexts_from_sequences(
+            [slot.sequence for slot in live],
+            self.target.config.context_window,
+        )
+        logits, hiddens = self.target.step(contexts)
+        probs = temperature_probs(logits, self.temperature)
+        stack = np.stack(hiddens, axis=1)  # (rows, L, d)
+        for row, slot in enumerate(live):
+            token = int(sample_from_probs(probs[row][None, :], slot.rng)[0])
+            slot.commit([token], EOS_ID)
+            slot.hidden = stack[row].copy()

@@ -1,28 +1,51 @@
-"""End-to-end speculative generation loop.
+"""End-to-end speculative generation (front door of the batched engine).
 
-Drives repeated draft/verify cycles until EOS or the length cap, committing
-tokens whose joint distribution matches vanilla decoding exactly (in
-``sample`` child mode).  This is the algorithmic engine behind every
-accept-length experiment; wall-clock throughput modelling lives in
-:mod:`repro.rollout`, which replays these statistics through the roofline
-cost model.
+:func:`speculative_generate` drives repeated draft/verify cycles until EOS
+or the length cap, committing tokens whose joint distribution matches
+vanilla decoding exactly (in ``sample`` child mode).  Since the
+continuous-batching refactor it is a thin wrapper over
+:class:`~repro.specdec.batch_engine.BatchedSpecDecodeEngine`:
+
+* requests are admitted into a bounded pool of live slots by the
+  :class:`~repro.specdec.scheduler.ContinuousBatchScheduler` and retire
+  individually on EOS or their length cap, freeing slots for waiting
+  requests (continuous batching);
+* every cycle drafts per live sequence and verifies ALL live sequences'
+  candidate rows in one batched target forward
+  (:func:`~repro.specdec.tree.verify_trees`), so target launches scale
+  with the slowest sequence's cycle count rather than the sum over
+  sequences;
+* each request owns a private random stream, making committed tokens
+  independent of scheduling under a static strategy —
+  ``max_batch_size=1`` (sequential) and full batching are then
+  token-for-token identical under a fixed seed (with an ``sd_manager``
+  the elastic SD/vanilla decision itself depends on the live-batch
+  size, so capacity legitimately shapes the output);
+* an optional :class:`~repro.rollout.adaptive.AdaptiveSdManager` is
+  consulted per cycle with the real live-batch size (elastic activation,
+  BEG-MAB strategy selection fed by measured accept lengths).
+
+This is the algorithmic engine behind every accept-length experiment;
+wall-clock throughput modelling lives in :mod:`repro.rollout`, which
+replays these statistics through the roofline cost model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from repro.drafter.base import Drafter
-from repro.errors import SpecDecodeError
 from repro.llm.model import TinyLM, contexts_from_sequences
-from repro.llm.vocab import BOS_ID, EOS_ID
-from repro.specdec.linear import linear_decode_step
-from repro.specdec.metrics import SdCycleStats, SdRunMetrics
+from repro.specdec.metrics import SdRunMetrics
+from repro.specdec.scheduler import BatchCycleReport
 from repro.specdec.strategy import SdStrategy
-from repro.specdec.tree import ChildMode, build_draft_tree, verify_tree
+from repro.specdec.tree import ChildMode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.rollout.adaptive import AdaptiveSdManager
 
 
 @dataclass
@@ -38,6 +61,8 @@ class SpeculativeGenerationOutput:
         target_steps: batched target forward launches (each verification
             pass counts once; the vanilla-decoding equivalent is one per
             generated token).
+        cycle_reports: per-cycle live-batch trail from the batched engine
+            (admissions, retirements, strategy, SD vs vanilla).
     """
 
     prompts: List[List[int]]
@@ -45,6 +70,7 @@ class SpeculativeGenerationOutput:
     finished: List[bool]
     metrics: SdRunMetrics
     target_steps: int
+    cycle_reports: List[BatchCycleReport] = field(default_factory=list)
 
     @property
     def response_lengths(self) -> List[int]:
@@ -52,16 +78,37 @@ class SpeculativeGenerationOutput:
         return [len(r) for r in self.responses]
 
 
+def initial_hiddens(
+    target: TinyLM, prefixes: Sequence[Sequence[int]]
+) -> List[Optional[np.ndarray]]:
+    """Exact target hidden stacks at the second-to-last prefix positions.
+
+    This is the drafter hand-off convention in one place: each prefix of
+    length >= 2 yields the (num_layers, hidden_size) stack at its
+    second-to-last position; shorter prefixes yield None.  All eligible
+    prefixes share ONE batched target forward.
+    """
+    out: List[Optional[np.ndarray]] = [None] * len(prefixes)
+    need = [
+        (i, list(p)) for i, p in enumerate(prefixes) if len(p) >= 2
+    ]
+    if not need:
+        return out
+    contexts = contexts_from_sequences(
+        [p[:-1] for _, p in need], target.config.context_window
+    )
+    _, hiddens = target.step(contexts)
+    stack = np.stack(hiddens, axis=1)  # (rows, L, d)
+    for row, (i, _) in enumerate(need):
+        out[i] = stack[row].copy()
+    return out
+
+
 def _initial_hidden(
     target: TinyLM, prefix: Sequence[int]
 ) -> Optional[np.ndarray]:
-    """Exact target hidden stack at the second-to-last prefix position."""
-    if len(prefix) < 2:
-        return None
-    context = contexts_from_sequences([list(prefix)[:-1]],
-                                      target.config.context_window)
-    _, hiddens = target.step(context)
-    return np.stack([h[0] for h in hiddens], axis=0).copy()
+    """Single-sequence convenience wrapper over :func:`initial_hiddens`."""
+    return initial_hiddens(target, [prefix])[0]
 
 
 def speculative_generate(
@@ -71,12 +118,14 @@ def speculative_generate(
     max_new_tokens: int,
     temperature: float,
     rng: np.random.Generator,
-    strategy: SdStrategy,
+    strategy: Optional[SdStrategy],
     add_bos: bool = True,
     child_mode: ChildMode = "sample",
     use_tree: bool = True,
+    max_batch_size: Optional[int] = None,
+    sd_manager: Optional["AdaptiveSdManager"] = None,
 ) -> SpeculativeGenerationOutput:
-    """Generate responses with speculative decoding.
+    """Generate responses with (batched) speculative decoding.
 
     Args:
         target: the target model.
@@ -84,100 +133,43 @@ def speculative_generate(
         prompts: token-id prompts.
         max_new_tokens: per-sequence response-length cap.
         temperature: sampling temperature (shared by drafter and target).
-        rng: random generator.
-        strategy: SD configuration tuple.
+        rng: master random generator; per-request streams are derived from
+            it so results do not depend on ``max_batch_size``.
+        strategy: SD configuration tuple (optional when ``sd_manager``
+            selects strategies per cycle).
         add_bos: prepend BOS to each prompt.
         child_mode: tree child expansion mode (``sample`` is lossless).
         use_tree: tree-based drafting (default) or linear chains.
+        max_batch_size: live-slot capacity of the continuous-batching
+            scheduler (None = all prompts decode together, 1 = fully
+            sequential decoding; with a static ``strategy`` every
+            capacity commits identical tokens — an ``sd_manager``'s
+            elastic rule reads the live-batch size, so there capacity
+            shapes the output by design).
+        sd_manager: optional adaptive SD manager driven by the real
+            live-batch size each cycle.
 
     Returns:
         A :class:`SpeculativeGenerationOutput`.
     """
-    if max_new_tokens < 1:
-        raise SpecDecodeError(
-            f"max_new_tokens must be >= 1, got {max_new_tokens}"
-        )
-    prompt_lists = [
-        ([BOS_ID] + list(map(int, p))) if add_bos else list(map(int, p))
-        for p in prompts
-    ]
-    responses: List[List[int]] = []
-    finished: List[bool] = []
-    metrics = SdRunMetrics()
-    target_steps = 0
+    from repro.specdec.batch_engine import BatchedSpecDecodeEngine
 
-    for prompt in prompt_lists:
-        sequence = list(prompt)
-        response: List[int] = []
-        hidden = _initial_hidden(target, sequence)
-        if len(sequence) >= 2:
-            target_steps += 1  # the prefill hidden hand-off
-        done = False
-        while len(response) < max_new_tokens and not done:
-            if use_tree:
-                tree = build_draft_tree(
-                    drafter,
-                    sequence,
-                    hidden,
-                    strategy,
-                    temperature,
-                    rng,
-                    child_mode=child_mode,
-                )
-                result = verify_tree(
-                    target, tree, sequence, temperature, rng
-                )
-                committed = result.accepted_tokens
-                cycle = SdCycleStats(
-                    accepted=result.accepted_node_count,
-                    committed=len(committed),
-                    drafted=tree.num_selected,
-                    draft_steps=tree.draft_steps,
-                    verify_batch=result.verify_batch,
-                )
-                metrics.profile.record(
-                    result.depth_attempts, result.depth_accepts
-                )
-                hidden = result.next_hidden
-            else:
-                result = linear_decode_step(
-                    target,
-                    drafter,
-                    sequence,
-                    hidden,
-                    strategy.draft_depth,
-                    temperature,
-                    rng,
-                )
-                committed = result.accepted_tokens
-                cycle = SdCycleStats(
-                    accepted=result.accepted_count,
-                    committed=len(committed),
-                    drafted=result.drafted_count,
-                    draft_steps=result.drafted_count,
-                    verify_batch=result.verify_batch,
-                )
-                metrics.profile.record_flags(result.accept_flags)
-                hidden = result.next_hidden
-            target_steps += 1  # one batched verification forward
-            metrics.add_cycle(cycle)
-
-            # Commit tokens, truncating at EOS and at the length cap.
-            for token in committed:
-                response.append(token)
-                sequence.append(token)
-                if token == EOS_ID:
-                    done = True
-                    break
-                if len(response) >= max_new_tokens:
-                    break
-        responses.append(response)
-        finished.append(done)
-
+    engine = BatchedSpecDecodeEngine(
+        target,
+        drafter,
+        strategy,
+        temperature,
+        child_mode=child_mode,
+        use_tree=use_tree,
+        max_batch_size=max_batch_size,
+        sd_manager=sd_manager,
+    )
+    result = engine.generate(prompts, max_new_tokens, rng, add_bos=add_bos)
     return SpeculativeGenerationOutput(
-        prompts=prompt_lists,
-        responses=responses,
-        finished=finished,
-        metrics=metrics,
-        target_steps=target_steps,
+        prompts=[slot.request.prompt for slot in result.slots],
+        responses=[slot.response for slot in result.slots],
+        finished=[slot.done for slot in result.slots],
+        metrics=result.metrics,
+        target_steps=result.target_steps,
+        cycle_reports=result.cycle_reports,
     )

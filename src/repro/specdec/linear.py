@@ -11,7 +11,7 @@ the model-free drafter is benchmarked in as ``TLT-Base``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,13 +73,35 @@ def linear_decode_step(
         always committed, and the committed-token distribution equals
         vanilla decoding's exactly.
     """
+    return linear_decode_steps(
+        target,
+        drafter,
+        [prefix_tokens],
+        [last_hidden],
+        draft_depth,
+        temperature,
+        [rng],
+    )[0]
+
+
+def draft_chain(
+    drafter: Drafter,
+    prefix_tokens: Sequence[int],
+    last_hidden: Optional[np.ndarray],
+    draft_depth: int,
+    temperature: float,
+    rng: np.random.Generator,
+) -> Tuple[List[int], List[np.ndarray]]:
+    """Sample one speculative chain (the drafting stage).
+
+    Returns the drafted tokens and, per position, the draft distribution
+    each was drawn from (needed by the acceptance rule).
+    """
     if draft_depth < 1:
         raise SpecDecodeError(f"draft_depth must be >= 1, got {draft_depth}")
     prefix = [int(t) for t in prefix_tokens]
     if not prefix:
         raise SpecDecodeError("prefix must be non-empty")
-
-    # Drafting stage: sample a chain from the drafter.
     state = drafter.begin(prefix, last_hidden)
     draft_tokens: List[int] = []
     draft_dists: List[np.ndarray] = []
@@ -91,19 +113,82 @@ def linear_decode_step(
         if token == EOS_ID:
             break
         state = drafter.extend(state, token)
+    return draft_tokens, draft_dists
 
-    # Verification stage: one batched target forward over the prefix row
-    # plus each draft position's row.
-    paths = [prefix]
-    running = list(prefix)
-    for token in draft_tokens:
-        running = running + [token]
-        paths.append(list(running))
-    contexts = contexts_from_sequences(paths, target.config.context_window)
+
+def linear_decode_steps(
+    target: TinyLM,
+    drafter: Drafter,
+    prefixes: Sequence[Sequence[int]],
+    last_hiddens: Sequence[Optional[np.ndarray]],
+    draft_depth: int,
+    temperature: float,
+    rngs: Sequence[np.random.Generator],
+) -> List[LinearDraftResult]:
+    """Run one linear draft/verify cycle for SEVERAL sequences at once.
+
+    All sequences' verification rows (prefix row + one row per draft
+    position) are concatenated into a single batched target forward, then
+    each sequence runs its accept/reject chain with its own random stream.
+    Row results equal per-sequence verification, so committed tokens match
+    :func:`linear_decode_step` exactly.
+    """
+    if not (len(prefixes) == len(last_hiddens) == len(rngs)):
+        raise SpecDecodeError(
+            "prefixes, last_hiddens and rngs must have equal lengths, got "
+            f"{len(prefixes)}/{len(last_hiddens)}/{len(rngs)}"
+        )
+    if not prefixes:
+        return []
+    chains: List[Tuple[List[int], List[np.ndarray]]] = []
+    all_paths: List[List[int]] = []
+    offsets: List[int] = []
+    for prefix_tokens, last_hidden, rng in zip(
+        prefixes, last_hiddens, rngs
+    ):
+        prefix = [int(t) for t in prefix_tokens]
+        draft_tokens, draft_dists = draft_chain(
+            drafter, prefix, last_hidden, draft_depth, temperature, rng
+        )
+        chains.append((draft_tokens, draft_dists))
+        offsets.append(len(all_paths))
+        running = list(prefix)
+        all_paths.append(list(running))
+        for token in draft_tokens:
+            running = running + [token]
+            all_paths.append(list(running))
+
+    contexts = contexts_from_sequences(
+        all_paths, target.config.context_window
+    )
     logits, hiddens = target.step(contexts)
-    probs_rows = temperature_probs(logits, temperature)
-    hidden_stack = np.stack(hiddens, axis=1)  # (rows, L, d)
+    all_probs = temperature_probs(logits, temperature)
+    all_hidden = np.stack(hiddens, axis=1)  # (rows, L, d)
 
+    results: List[LinearDraftResult] = []
+    for i, (draft_tokens, draft_dists) in enumerate(chains):
+        start = offsets[i]
+        stop = offsets[i + 1] if i + 1 < len(offsets) else len(all_paths)
+        results.append(
+            _accept_chain(
+                draft_tokens,
+                draft_dists,
+                all_probs[start:stop],
+                all_hidden[start:stop],
+                rngs[i],
+            )
+        )
+    return results
+
+
+def _accept_chain(
+    draft_tokens: List[int],
+    draft_dists: List[np.ndarray],
+    probs_rows: np.ndarray,
+    hidden_stack: np.ndarray,
+    rng: np.random.Generator,
+) -> LinearDraftResult:
+    """Leviathan accept/reject over one sequence's verified rows."""
     accepted: List[int] = []
     accept_flags: List[bool] = []
     bonus_dist = probs_rows[0]
@@ -127,6 +212,6 @@ def linear_decode_step(
         drafted_count=len(draft_tokens),
         bonus_token=bonus_token,
         next_hidden=hidden_stack[final_row].copy(),
-        verify_batch=len(paths),
+        verify_batch=int(probs_rows.shape[0]),
         accept_flags=accept_flags,
     )

@@ -1,0 +1,203 @@
+"""Request scheduling for the batched speculative generation engine.
+
+Continuous batching is a scheduling problem before it is a decoding
+problem: requests wait in FIFO order, are admitted into a bounded pool of
+live slots, decode for some number of draft/verify cycles, and retire on
+EOS or at their length cap — freeing the slot for the next waiting
+request.  This module owns that lifecycle so the decode engine
+(:mod:`repro.specdec.batch_engine`) can focus on the per-cycle math.
+
+Each request carries its *own* random generator stream (derived from the
+caller's master generator).  That is what makes the committed tokens
+independent of scheduling: a sequence draws the same randomness whether it
+decodes alone (``max_batch_size=1``) or interleaved with an arbitrary set
+of neighbours, so batched and sequential execution are token-for-token
+identical under a fixed seed.
+
+The per-cycle :class:`BatchCycleReport` trail is the engine's contact
+surface with the adaptive layer: it records the live-batch size the
+:class:`~repro.rollout.adaptive.AdaptiveSdManager` saw, which strategy ran
+and what it committed — real batch dynamics rather than simulated ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SpecDecodeError
+from repro.specdec.strategy import SdStrategy
+
+
+@dataclass
+class SequenceRequest:
+    """One generation request submitted to the batched engine.
+
+    Attributes:
+        request_id: position in the caller's prompt list (output order).
+        prompt: full prompt token ids (BOS already applied).
+        max_new_tokens: response-length cap for this request.
+        rng: this request's private random stream.
+    """
+
+    request_id: int
+    prompt: List[int]
+    max_new_tokens: int
+    rng: np.random.Generator
+
+
+@dataclass
+class SequenceSlot:
+    """Live decoding state of one admitted request.
+
+    Attributes:
+        request: the request occupying this slot.
+        sequence: prompt + committed tokens.
+        response: committed response tokens (terminal EOS included).
+        hidden: exact target hidden stack (num_layers, hidden_size) at the
+            second-to-last position — the drafter hand-off.
+        done: True once EOS was committed.
+    """
+
+    request: SequenceRequest
+    sequence: List[int]
+    response: List[int] = field(default_factory=list)
+    hidden: Optional[np.ndarray] = None
+    done: bool = False
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The request's private random stream."""
+        return self.request.rng
+
+    @property
+    def finished(self) -> bool:
+        """Whether this slot should retire (EOS or length cap)."""
+        return self.done or len(self.response) >= self.request.max_new_tokens
+
+    def commit(self, tokens: List[int], eos_id: int) -> int:
+        """Append committed tokens, truncating at EOS and the length cap.
+
+        Returns the number of tokens actually committed.
+        """
+        committed = 0
+        for token in tokens:
+            self.response.append(token)
+            self.sequence.append(token)
+            committed += 1
+            if token == eos_id:
+                self.done = True
+                break
+            if len(self.response) >= self.request.max_new_tokens:
+                break
+        return committed
+
+
+@dataclass(frozen=True)
+class BatchCycleReport:
+    """One engine cycle as seen by the adaptive layer.
+
+    Attributes:
+        index: cycle number (0-based, admission waves included).
+        live_batch: sequences decoding in this cycle.
+        admitted: requests admitted from the waiting queue before it.
+        retired: sequences that finished during it.
+        sd_active: whether this cycle ran speculative decoding.
+        strategy: the SD strategy used (None for vanilla cycles).
+        committed_tokens: tokens committed across the batch.
+        drafted_tokens: draft tokens submitted for verification.
+        verify_rows: rows in the batched target forward.
+    """
+
+    index: int
+    live_batch: int
+    admitted: int
+    retired: int
+    sd_active: bool
+    strategy: Optional[SdStrategy]
+    committed_tokens: int
+    drafted_tokens: int
+    verify_rows: int
+
+
+class ContinuousBatchScheduler:
+    """FIFO admission into a bounded pool of live decoding slots.
+
+    Args:
+        requests: generation requests in submission order.
+        max_batch_size: live-slot capacity (None = unbounded, i.e. every
+            request decodes from cycle one; 1 = fully sequential).
+    """
+
+    def __init__(
+        self,
+        requests: List[SequenceRequest],
+        max_batch_size: Optional[int] = None,
+    ) -> None:
+        if max_batch_size is not None and max_batch_size < 1:
+            raise SpecDecodeError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        self.max_batch_size = max_batch_size
+        self.waiting: Deque[SequenceRequest] = deque(requests)
+        self.live: List[SequenceSlot] = []
+        self._finished: Dict[int, SequenceSlot] = {}
+        self._num_requests = len(requests)
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def num_live(self) -> int:
+        """Sequences currently decoding."""
+        return len(self.live)
+
+    @property
+    def num_waiting(self) -> int:
+        """Requests not yet admitted."""
+        return len(self.waiting)
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any request is still live or waiting."""
+        return bool(self.live) or bool(self.waiting)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def admit(self) -> List[SequenceSlot]:
+        """Move waiting requests into free slots (FIFO), returning them."""
+        admitted: List[SequenceSlot] = []
+        while self.waiting and (
+            self.max_batch_size is None
+            or len(self.live) < self.max_batch_size
+        ):
+            request = self.waiting.popleft()
+            slot = SequenceSlot(
+                request=request, sequence=list(request.prompt)
+            )
+            self.live.append(slot)
+            admitted.append(slot)
+        return admitted
+
+    def retire_finished(self) -> List[SequenceSlot]:
+        """Remove finished slots from the live pool, returning them."""
+        retired = [slot for slot in self.live if slot.finished]
+        if retired:
+            self.live = [s for s in self.live if not s.finished]
+            for slot in retired:
+                self._finished[slot.request.request_id] = slot
+        return retired
+
+    def results(self) -> List[SequenceSlot]:
+        """Finished slots in request order (call when work is drained)."""
+        if self.has_work:
+            raise SpecDecodeError(
+                "results() requires a drained scheduler "
+                f"({self.num_live} live, {self.num_waiting} waiting)"
+            )
+        return [
+            self._finished[request_id]
+            for request_id in range(self._num_requests)
+        ]

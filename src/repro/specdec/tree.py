@@ -426,6 +426,39 @@ class TreeVerifyResult:
     depth_accepts: List[int]
 
 
+def plan_verify_rows(
+    tree: DraftTree, prefix_tokens: Sequence[int]
+) -> Tuple[List[List[int]], Dict[int, int]]:
+    """Lay out the verification rows for one tree.
+
+    Row 0 is the committed prefix (providing the root distribution and the
+    fallback hand-off hidden); each selected node contributes one row
+    holding its root-to-node path appended to the prefix.
+
+    Returns:
+        ``(paths, row_of_node)`` where ``row_of_node`` maps a selected
+        node index to its row in ``paths``.
+    """
+    prefix = [int(t) for t in prefix_tokens]
+    if not prefix:
+        raise SpecDecodeError("prefix must be non-empty")
+    nodes = tree.nodes
+    paths: List[List[int]] = [prefix]
+    row_of_node: Dict[int, int] = {}
+    node_paths: Dict[int, List[int]] = {}
+    for index in tree.selected_indices:
+        node = nodes[index]
+        if node.parent == -1:
+            parent_path = prefix
+        else:
+            parent_path = node_paths[node.parent]
+        path = parent_path + [node.token]
+        node_paths[index] = path
+        row_of_node[index] = len(paths)
+        paths.append(path)
+    return paths, row_of_node
+
+
 def verify_tree(
     target: TinyLM,
     tree: DraftTree,
@@ -445,32 +478,89 @@ def verify_tree(
         least one token (the bonus), preserving the target distribution
         exactly in ``sample`` child mode.
     """
-    prefix = [int(t) for t in prefix_tokens]
-    if not prefix:
-        raise SpecDecodeError("prefix must be non-empty")
-    nodes = tree.nodes
-    selected = tree.selected_indices
+    return verify_trees(
+        target, [tree], [prefix_tokens], temperature, [rng]
+    )[0]
 
-    # Reconstruct each selected node's path once (root row first).
-    paths: List[List[int]] = [prefix]
-    row_of_node: Dict[int, int] = {}
-    node_paths: Dict[int, List[int]] = {}
-    for index in selected:
-        node = nodes[index]
-        if node.parent == -1:
-            parent_path = prefix
-        else:
-            parent_path = node_paths[node.parent]
-        path = parent_path + [node.token]
-        node_paths[index] = path
-        row_of_node[index] = len(paths)
-        paths.append(path)
 
-    contexts = contexts_from_sequences(paths, target.config.context_window)
+def verify_trees(
+    target: TinyLM,
+    trees: Sequence[DraftTree],
+    prefixes: Sequence[Sequence[int]],
+    temperature: float,
+    rngs: Sequence[np.random.Generator],
+) -> List[TreeVerifyResult]:
+    """Verify several sequences' draft trees in ONE target forward pass.
+
+    This is the continuous-batching amortisation: every live sequence's
+    verification rows are concatenated into a single batched
+    :meth:`~repro.llm.model.TinyLM.step` launch, then each sequence walks
+    its own acceptance path with its own random stream.  Row results are
+    identical to per-sequence verification, so committed tokens match
+    :func:`verify_tree` exactly.
+
+    Args:
+        target: the target model.
+        trees: one draft tree per live sequence.
+        prefixes: committed prefix per live sequence.
+        temperature: shared sampling temperature.
+        rngs: per-sequence random streams (acceptance + bonus sampling).
+
+    Returns:
+        One :class:`TreeVerifyResult` per input tree, in order.
+    """
+    if not (len(trees) == len(prefixes) == len(rngs)):
+        raise SpecDecodeError(
+            "trees, prefixes and rngs must have equal lengths, got "
+            f"{len(trees)}/{len(prefixes)}/{len(rngs)}"
+        )
+    if not trees:
+        return []
+    all_paths: List[List[int]] = []
+    plans: List[Tuple[int, Dict[int, int]]] = []  # (row offset, node map)
+    for tree, prefix in zip(trees, prefixes):
+        paths, row_of_node = plan_verify_rows(tree, prefix)
+        plans.append((len(all_paths), row_of_node))
+        all_paths.extend(paths)
+
+    contexts = contexts_from_sequences(
+        all_paths, target.config.context_window
+    )
     logits, hiddens = target.step(contexts)
     probs = temperature_probs(logits, temperature)
     hidden_stack = np.stack(hiddens, axis=1)  # (rows, L, d)
 
+    results: List[TreeVerifyResult] = []
+    for i, (tree, (offset, row_of_node)) in enumerate(zip(trees, plans)):
+        rows = (
+            plans[i + 1][0] if i + 1 < len(plans) else len(all_paths)
+        ) - offset
+        results.append(
+            _walk_acceptance(
+                tree,
+                probs[offset : offset + rows],
+                hidden_stack[offset : offset + rows],
+                row_of_node,
+                rngs[i],
+            )
+        )
+    return results
+
+
+def _walk_acceptance(
+    tree: DraftTree,
+    probs: np.ndarray,
+    hidden_stack: np.ndarray,
+    row_of_node: Dict[int, int],
+    rng: np.random.Generator,
+) -> TreeVerifyResult:
+    """Run the multi-round acceptance walk over one tree's verified rows.
+
+    ``probs``/``hidden_stack`` are this tree's slice of the batched target
+    forward (row 0 = prefix row), ``row_of_node`` maps selected node
+    indices to local rows.
+    """
+    nodes = tree.nodes
     depth_attempts: List[int] = []
     depth_accepts: List[int] = []
     accepted: List[int] = []
@@ -524,7 +614,7 @@ def verify_tree(
         accepted_node_count=len(accepted),
         bonus_token=bonus_token,
         next_hidden=hidden_stack[current_row].copy(),
-        verify_batch=len(paths),
+        verify_batch=int(probs.shape[0]),
         depth_attempts=depth_attempts,
         depth_accepts=depth_accepts,
     )

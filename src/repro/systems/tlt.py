@@ -6,18 +6,30 @@ model-free n-gram drafter only (no learned drafter, no spot training).
 freshness is maintained by spot training inside the long-tail bubbles,
 plus the <1% bookkeeping overhead for drafter weight updates and
 optimizer offloading the paper measures.
+
+Each system carries its rollout policy in two interchangeable forms: the
+roofline-calibrated cluster simulator (:meth:`~RlSystem.simulate_step`)
+and, via :meth:`rollout_backend`, the *algorithmic* continuous-batching
+engine — an :class:`~repro.rl.rollout_backends.AdaptiveSpeculativeRollout`
+built from the same :class:`~repro.rollout.adaptive.AdaptiveSdConfig`, so
+the elastic threshold and strategy pool that shape the simulated timeline
+also drive real batched token generation on the TinyLM substrate.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.cluster.simulator import (
     ClusterSpec,
     RlStepSimulator,
     StepWorkload,
 )
+from repro.drafter.base import Drafter
 from repro.hardware.gpus import ModelSpec
+from repro.rl.rollout_backends import AdaptiveSpeculativeRollout
 from repro.rollout.acceptance import ParametricAcceptance
-from repro.rollout.adaptive import AdaptiveSdConfig
+from repro.rollout.adaptive import AdaptiveSdConfig, AdaptiveSdManager
 from repro.systems.base import RlSystem, SystemStepReport
 
 #: Calibrated drafter qualities (fractions of the fresh-drafter accept
@@ -27,7 +39,46 @@ MODEL_FREE_QUALITY = 0.6
 ADAPTIVE_QUALITY = 1.0
 
 
-class TltBaseSystem(RlSystem):
+class _AdaptiveSdSystem(RlSystem):
+    """Shared plumbing for systems whose rollouts use adaptive SD."""
+
+    sd_config: AdaptiveSdConfig
+
+    def rollout_backend(
+        self,
+        drafter: Drafter,
+        child_mode: str = "sample",
+        max_batch_size: Optional[int] = None,
+        manager: Optional[AdaptiveSdManager] = None,
+    ) -> AdaptiveSpeculativeRollout:
+        """Algorithmic rollout backend mirroring this system's SD policy.
+
+        The returned backend runs the batched continuous-batching engine
+        under an :class:`~repro.rollout.adaptive.AdaptiveSdManager` built
+        from the same configuration the cluster simulator uses, so the
+        simulated elastic-activation behaviour and the real token-level
+        engine share one source of truth.
+
+        Args:
+            drafter: the draft model to speculate with (the n-gram
+                retrieval drafter for TLT-Base, spot-trained EAGLE for
+                full TLT).
+            child_mode: tree child expansion mode (``sample`` = lossless).
+            max_batch_size: live-slot capacity of the scheduler.
+            manager: reuse an existing manager (keeps bandit state across
+                RL steps); one is built from ``self.sd_config`` when
+                omitted.
+        """
+        return AdaptiveSpeculativeRollout(
+            drafter,
+            sd_config=self.sd_config,
+            manager=manager,
+            child_mode=child_mode,
+            max_batch_size=max_batch_size,
+        )
+
+
+class TltBaseSystem(_AdaptiveSdSystem):
     """TLT with the model-free drafter only (paper's TLT-Base)."""
 
     name = "TLT-Base"
@@ -40,7 +91,7 @@ class TltBaseSystem(RlSystem):
         transition_overhead_s: float = 10.0,
     ) -> None:
         super().__init__(model, cluster)
-        sd_config = AdaptiveSdConfig(
+        self.sd_config = AdaptiveSdConfig(
             activation_threshold=activation_threshold,
             acceptance=ParametricAcceptance(
                 drafter_quality=MODEL_FREE_QUALITY
@@ -49,7 +100,7 @@ class TltBaseSystem(RlSystem):
         self._simulator = RlStepSimulator(
             model=model,
             cluster=cluster,
-            sd_config=sd_config,
+            sd_config=self.sd_config,
             spot_training=False,
             transition_overhead_s=transition_overhead_s,
         )
@@ -63,7 +114,7 @@ class TltBaseSystem(RlSystem):
         )
 
 
-class TltSystem(RlSystem):
+class TltSystem(_AdaptiveSdSystem):
     """Full TLT: adaptive learned drafter + spot training in bubbles."""
 
     name = "TLT"
@@ -78,7 +129,7 @@ class TltSystem(RlSystem):
         drafter_quality: float = ADAPTIVE_QUALITY,
     ) -> None:
         super().__init__(model, cluster)
-        sd_config = AdaptiveSdConfig(
+        self.sd_config = AdaptiveSdConfig(
             activation_threshold=activation_threshold,
             acceptance=ParametricAcceptance(
                 drafter_quality=drafter_quality
@@ -87,7 +138,7 @@ class TltSystem(RlSystem):
         self._simulator = RlStepSimulator(
             model=model,
             cluster=cluster,
-            sd_config=sd_config,
+            sd_config=self.sd_config,
             spot_training=True,
             transition_overhead_s=transition_overhead_s,
             extra_overhead_fraction=extra_overhead_fraction,

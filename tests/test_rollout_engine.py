@@ -110,12 +110,24 @@ class TestAdaptiveManager:
         manager.reset()
         assert manager.engage(16) == 3.0
 
-    def test_no_engage_above_threshold(self):
+    def test_engage_above_threshold_raises(self):
+        """engage() outside the elastic rule is a caller bug, not a
+        silent zero-overhead no-op."""
         manager = AdaptiveSdManager(
             AdaptiveSdConfig(activation_threshold=8)
         )
-        assert manager.engage(100) == 0.0
+        with pytest.raises(ConfigError):
+            manager.engage(100)
         assert manager.activations == 0
+
+    def test_engage_raises_even_when_already_active(self):
+        manager = AdaptiveSdManager(
+            AdaptiveSdConfig(activation_threshold=8)
+        )
+        assert manager.engage(8) == 3.0
+        with pytest.raises(ConfigError):
+            manager.engage(9)
+        assert manager.activations == 1
 
 
 class TestRolloutEngine:
@@ -196,3 +208,111 @@ class TestRolloutEngine:
         )
         snapshot = manager.selector.snapshot()
         assert any(v["observations"] > 0 for v in snapshot.values())
+
+
+class _CountingSelector:
+    """StrategySelector wrapper counting record() calls."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.records = 0
+
+    def select(self, batch_size):
+        return self.inner.select(batch_size)
+
+    def record(self, strategy, elapsed_time, accept_lengths, batch_size):
+        self.records += 1
+        self.inner.record(
+            strategy, elapsed_time, accept_lengths, batch_size
+        )
+
+    def snapshot(self):
+        return self.inner.snapshot()
+
+
+class TestSimulatorBugfixes:
+    """Regression tests for the sd_start / bandit-feedback fixes."""
+
+    def test_zero_switch_overhead_still_marks_sd_active(self, roofline):
+        """With switch_overhead_s=0 the timeline must still report when
+        SD engaged (sd_start_s was previously left None forever)."""
+        rng = np.random.default_rng(3)
+        manager = AdaptiveSdManager(
+            AdaptiveSdConfig(
+                activation_threshold=32, switch_overhead_s=0.0
+            )
+        )
+        timeline = RolloutEngine(
+            roofline, sd_manager=manager
+        ).simulate(long_tail_lengths(rng), 512)
+        assert manager.activations == 1
+        assert timeline.sd_start_s is not None
+        assert any(p.sd_active for p in timeline.points)
+
+    def test_sd_start_matches_nonzero_overhead_run(self, roofline):
+        """Zero and nonzero overhead runs engage at the same moment."""
+        lengths = long_tail_lengths(np.random.default_rng(4))
+
+        def run(overhead):
+            manager = AdaptiveSdManager(
+                AdaptiveSdConfig(
+                    activation_threshold=32, switch_overhead_s=overhead
+                )
+            )
+            return RolloutEngine(roofline, sd_manager=manager).simulate(
+                lengths, 512
+            )
+
+        with_overhead = run(3.0)
+        without = run(0.0)
+        assert without.sd_start_s == pytest.approx(
+            with_overhead.sd_start_s
+        )
+        # The zero-overhead run finishes exactly the overhead earlier.
+        assert without.total_time_s == pytest.approx(
+            with_overhead.total_time_s - 3.0
+        )
+
+    def test_bandit_ignores_skipped_cycles(self, roofline):
+        """When the payoff guard vetoes SD, the vetoed cycle must not be
+        recorded (it never executed)."""
+        manager = AdaptiveSdManager(
+            AdaptiveSdConfig(
+                activation_threshold=100,
+                acceptance=ConstantAcceptance(1.0),
+            )
+        )
+        timeline = RolloutEngine(
+            roofline, sd_manager=manager
+        ).simulate([100] * 8, 128)
+        assert timeline.sd_cycles == 0
+        snapshot = manager.selector.snapshot()
+        assert all(v["observations"] == 0 for v in snapshot.values())
+
+    def test_bandit_window_matches_executed_segments(self, roofline):
+        """Every record() corresponds to one executed SD segment."""
+        from repro.tuner.mab import BegMabSelector
+        from repro.specdec import default_strategy_pool
+
+        pool = default_strategy_pool()
+        counting = _CountingSelector(
+            BegMabSelector(pool, [1, 4, 8, 16])
+        )
+        manager = AdaptiveSdManager(
+            AdaptiveSdConfig(
+                activation_threshold=64, selector=counting
+            )
+        )
+        lengths = [100, 200, 300, 400, 500, 600, 700, 800]
+        timeline = RolloutEngine(
+            roofline, sd_manager=manager
+        ).simulate(lengths, 128)
+        # Distinct lengths => one decode segment per completion; SD pays
+        # at these small batches, so every segment records exactly once.
+        assert timeline.sd_cycles > 0
+        assert counting.records == len(lengths)
+        total_obs = sum(
+            v["observations"]
+            for v in counting.snapshot().values()
+        )
+        assert total_obs == counting.records
