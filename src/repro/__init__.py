@@ -43,6 +43,12 @@ from repro.rl import (
     SpeculativeRollout,
     VanillaRollout,
 )
+from repro.serving import (
+    ServingEngine,
+    ServingRequest,
+    SloClass,
+    poisson_trace,
+)
 from repro.specdec import (
     SdStrategy,
     default_strategy_pool,
@@ -73,5 +79,9 @@ __all__ = [
     "VanillaRollout",
     "SpeculativeRollout",
     "AdaptiveSpeculativeRollout",
+    "ServingEngine",
+    "ServingRequest",
+    "SloClass",
+    "poisson_trace",
     "__version__",
 ]

@@ -18,9 +18,11 @@ tree builder branch one parent state into ``topk`` children.
 from __future__ import annotations
 
 import abc
-from typing import Any, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
+
+from repro.errors import DrafterError
 
 DrafterState = Any
 """Opaque per-branch drafting state (drafter-specific)."""
@@ -52,6 +54,29 @@ class Drafter(abc.ABC):
             A state from which :meth:`propose` yields the distribution of
             the first new token.
         """
+
+    def begin_batch(
+        self,
+        prefixes: Sequence[Sequence[int]],
+        last_hiddens: Sequence[Optional[np.ndarray]],
+    ) -> List[DrafterState]:
+        """Create drafting states for SEVERAL sequences at once.
+
+        The default implementation is the per-sequence fallback (one
+        :meth:`begin` call per sequence).  Learned drafters override it
+        with a vectorised path that pushes all sequences through one
+        batched matmul; overrides MUST stay row-identical to the fallback
+        so the batched engine's losslessness guarantee holds.
+        """
+        if len(prefixes) != len(last_hiddens):
+            raise DrafterError(
+                "prefixes and last_hiddens must have equal lengths, got "
+                f"{len(prefixes)}/{len(last_hiddens)}"
+            )
+        return [
+            self.begin(prefix, hidden)
+            for prefix, hidden in zip(prefixes, last_hiddens)
+        ]
 
     @abc.abstractmethod
     def propose(

@@ -170,20 +170,47 @@ class EagleDrafter(Drafter):
         prefix_tokens: Sequence[int],
         last_hidden: Optional[np.ndarray],
     ) -> EagleState:
+        return self.begin_batch([prefix_tokens], [last_hidden])[0]
+
+    def begin_batch(
+        self,
+        prefixes: Sequence[Sequence[int]],
+        last_hiddens: Sequence[Optional[np.ndarray]],
+    ) -> List[EagleState]:
+        """Vectorised begin: one fuse + cell matmul over all sequences.
+
+        Row-identical to per-sequence :meth:`begin` (same stacked
+        operations, one GEMM instead of N), which is what lets the
+        batched engine's linear fast path keep the token-identity
+        guarantee while amortising drafter launches across the live
+        batch.
+        """
+        if len(prefixes) != len(last_hiddens):
+            raise DrafterError(
+                "prefixes and last_hiddens must have equal lengths, got "
+                f"{len(prefixes)}/{len(last_hiddens)}"
+            )
+        n = len(prefixes)
         d = self.hidden_size
-        if last_hidden is None:
-            fused = np.zeros(d)
-        else:
-            stack = np.asarray(last_hidden, dtype=np.float64)
-            if stack.ndim == 1:
-                # Tolerate a bare top-layer vector by broadcasting it.
-                stack = np.tile(stack, (self.target.num_layers, 1))
-            fused = self.fuse(stack)
-        if not prefix_tokens:
-            raise DrafterError("prefix_tokens must be non-empty")
-        last_token = int(prefix_tokens[-1])
-        embed = self.target.params["embed"][last_token]
-        return EagleState(hidden=self.cell(fused, embed))
+        fused = np.zeros((n, d))
+        rows = [i for i, h in enumerate(last_hiddens) if h is not None]
+        if rows:
+            stacks = []
+            for i in rows:
+                stack = np.asarray(last_hiddens[i], dtype=np.float64)
+                if stack.ndim == 1:
+                    # Tolerate a bare top-layer vector by broadcasting it.
+                    stack = np.tile(stack, (self.target.num_layers, 1))
+                stacks.append(stack)
+            fused[rows] = self.fuse(np.stack(stacks, axis=0))
+        tokens = []
+        for prefix in prefixes:
+            if not len(prefix):
+                raise DrafterError("prefix_tokens must be non-empty")
+            tokens.append(int(prefix[-1]))
+        embed = self.target.params["embed"][np.asarray(tokens, dtype=np.int64)]
+        hidden = self.cell(fused, embed)  # (n, d)
+        return [EagleState(hidden=hidden[i]) for i in range(n)]
 
     def propose(self, state: EagleState, temperature: float) -> np.ndarray:
         logits = self.head_logits(state.hidden)

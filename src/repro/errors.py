@@ -56,3 +56,7 @@ class OutOfMemoryError(HardwareModelError):
 
 class TunerError(ReproError):
     """The bandit tuner was driven with inconsistent strategies or buckets."""
+
+
+class ServingError(ReproError):
+    """The online serving front-end was driven into an invalid state."""

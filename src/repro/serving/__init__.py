@@ -1,0 +1,51 @@
+"""Online serving front-end over the batched spec-decode engine.
+
+Opens the online-serving workload beyond RL training (ROADMAP item):
+requests arrive over discrete-event virtual time with SLO classes and
+per-request cancellation, an SLO-aware dispatcher routes them across N
+continuous-batching workers using predicted-length-aware policies with
+work stealing, and per-request latency/TTFT/SLO-attainment metrics close
+the loop back into the adaptive SD layer — each worker's
+:class:`~repro.rollout.adaptive.AdaptiveSdManager` sees its own live
+batch every cycle.
+"""
+
+from repro.serving.clock import VirtualClock
+from repro.serving.dispatch import (
+    DispatchPolicy,
+    LeastLoadedDispatch,
+    LongTailDispatch,
+    RoundRobinDispatch,
+    steal_work,
+)
+from repro.serving.frontend import ServingEngine, ServingWorker
+from repro.serving.metrics import RequestRecord, ServingReport
+from repro.serving.request import (
+    BATCH,
+    INTERACTIVE,
+    STANDARD,
+    RequestState,
+    ServingRequest,
+    SloClass,
+    poisson_trace,
+)
+
+__all__ = [
+    "VirtualClock",
+    "DispatchPolicy",
+    "RoundRobinDispatch",
+    "LeastLoadedDispatch",
+    "LongTailDispatch",
+    "steal_work",
+    "ServingEngine",
+    "ServingWorker",
+    "RequestRecord",
+    "ServingReport",
+    "ServingRequest",
+    "SloClass",
+    "RequestState",
+    "poisson_trace",
+    "INTERACTIVE",
+    "STANDARD",
+    "BATCH",
+]

@@ -1,0 +1,49 @@
+"""Discrete-event virtual time for the serving front-end.
+
+The serving layer measures time in **decode-cycle ticks**: one tick is
+one batched draft/verify (or vanilla) cycle executed by every busy worker
+in parallel.  This is the same deterministic work proxy the batched
+engine feeds its bandit (wall-clock would make seeded runs environment-
+dependent), and it is what makes latency/SLO numbers reproducible: a
+request's latency is the number of cycles between its arrival and the
+completion of the cycle that committed its last token.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class VirtualClock:
+    """Monotonic virtual time in decode-cycle ticks.
+
+    Args:
+        start: initial time (>= 0).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ConfigError(f"start must be non-negative, got {start}")
+        self._now = float(start)
+        self._ticks = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def ticks(self) -> int:
+        """Number of :meth:`advance` calls so far."""
+        return self._ticks
+
+    def advance(self, dt: float = 1.0) -> float:
+        """Move time forward by ``dt`` ticks, returning the new time."""
+        if dt <= 0:
+            raise ConfigError(f"dt must be positive, got {dt}")
+        self._now += float(dt)
+        self._ticks += 1
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"VirtualClock(now={self._now:g}, ticks={self._ticks})"

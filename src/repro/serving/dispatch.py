@@ -1,0 +1,178 @@
+"""SLO-aware multi-worker dispatch policies and work stealing.
+
+The dispatcher decides which worker an arriving request joins.  Because
+every request carries its own random stream, routing is *free* to be
+smart: it changes latency and SLO attainment but never the committed
+tokens.  Three policies span the design space the long-tail papers argue
+about:
+
+* :class:`RoundRobinDispatch` — the placement-oblivious baseline.
+* :class:`LeastLoadedDispatch` — joins the worker with the smallest
+  *predicted* outstanding work (live remaining + queued predicted
+  tokens), the classic join-shortest-queue improvement made
+  distribution-aware through the per-request length predictions.
+* :class:`LongTailDispatch` — segregates predicted-long requests onto
+  dedicated tail workers so a 30k-token straggler never heads-of-line
+  blocks a stream of short interactive requests (DARTS-style length-
+  distribution shaping).
+
+:func:`steal_work` rebalances *queued* (not yet admitted) requests from
+backlogged workers onto workers with free slots between cycles — the
+ROADMAP's work-stealing item.  Stealing preserves determinism for the
+same reason dispatch does: a waiting request's private stream has not
+been consumed yet, so it decodes identically wherever it lands.
+
+Policies duck-type their ``workers`` argument against the serving
+front-end's :class:`~repro.serving.frontend.ServingWorker` surface
+(``num_live``, ``num_waiting``, ``free_slots``, ``backlog_tokens``,
+``steal``, ``enqueue``).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.serving.request import ServingRequest
+
+
+class DispatchPolicy(abc.ABC):
+    """Chooses the worker an arriving request is routed to."""
+
+    #: Label used in reports and benchmark tables.
+    name: str = "dispatch"
+
+    @abc.abstractmethod
+    def choose(
+        self, request: ServingRequest, workers: Sequence
+    ) -> int:
+        """Return the index of the worker ``request`` should join."""
+
+    def _validate(self, workers: Sequence) -> None:
+        if not workers:
+            raise ConfigError("dispatch requires at least one worker")
+
+
+class RoundRobinDispatch(DispatchPolicy):
+    """Cyclic placement, oblivious to load and length (the baseline)."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, request: ServingRequest, workers: Sequence) -> int:
+        self._validate(workers)
+        index = self._next % len(workers)
+        self._next += 1
+        return index
+
+
+class LeastLoadedDispatch(DispatchPolicy):
+    """Join the worker with the least predicted outstanding work.
+
+    Load is measured in predicted tokens still to decode (live slots'
+    remaining caps + queued requests' predicted lengths), so one
+    predicted-30k-token request weighs as much as a hundred short ones —
+    which is the point: request *count* is a poor load proxy under a
+    long-tail length distribution.
+    """
+
+    name = "least-loaded"
+
+    def choose(self, request: ServingRequest, workers: Sequence) -> int:
+        self._validate(workers)
+        return min(
+            range(len(workers)),
+            key=lambda i: (workers[i].backlog_tokens, i),
+        )
+
+
+class LongTailDispatch(DispatchPolicy):
+    """Segregate predicted-long requests onto dedicated tail workers.
+
+    Workers are split into a head group (short requests) and a tail
+    group (the last ``ceil(tail_fraction * N)`` workers).  Requests with
+    ``dispatch_length >= threshold`` go to the tail group, the rest to
+    the head group; within a group the least-backlogged worker wins.
+    With one worker both groups collapse onto it.
+
+    Args:
+        threshold: predicted length at which a request counts as tail.
+        tail_fraction: fraction of workers reserved for tail requests.
+    """
+
+    name = "long-tail"
+
+    def __init__(
+        self, threshold: int, tail_fraction: float = 0.5
+    ) -> None:
+        if threshold < 1:
+            raise ConfigError(f"threshold must be >= 1, got {threshold}")
+        if not 0.0 < tail_fraction < 1.0:
+            raise ConfigError(
+                f"tail_fraction must be in (0, 1), got {tail_fraction}"
+            )
+        self.threshold = threshold
+        self.tail_fraction = tail_fraction
+
+    def _groups(self, count: int) -> Tuple[range, range]:
+        """(head, tail) worker-index ranges for a pool of ``count``."""
+        if count == 1:
+            return range(1), range(1)
+        tail = min(count - 1, max(1, math.ceil(self.tail_fraction * count)))
+        return range(count - tail), range(count - tail, count)
+
+    def choose(self, request: ServingRequest, workers: Sequence) -> int:
+        self._validate(workers)
+        head, tail = self._groups(len(workers))
+        group = tail if request.dispatch_length >= self.threshold else head
+        return min(group, key=lambda i: (workers[i].backlog_tokens, i))
+
+
+def steal_work(
+    workers: Sequence, max_moves: int = 1_000_000
+) -> List[Tuple[int, int, int]]:
+    """Move queued requests from backlogged workers to free slots.
+
+    One request moves per iteration: the donor is the worker with the
+    deepest waiting queue among workers whose live slots are FULL (a
+    worker with a free slot drains its own queue next cycle — stealing
+    from it would just ping-pong requests), and the receiver is the
+    worker with the most free slots left after covering its own queue
+    (ties break to the lowest id, keeping runs deterministic).  Stops
+    when no such pair remains.
+
+    Returns:
+        ``(request_id, donor_id, receiver_id)`` for each moved request —
+        the front-end uses these to re-point its records.
+    """
+    moves: List[Tuple[int, int, int]] = []
+    while len(moves) < max_moves:
+        donors = [
+            w for w in workers
+            if w.num_waiting > 0 and w.free_slots == 0
+        ]
+        receivers = [
+            w for w in workers if w.free_slots > w.num_waiting
+        ]
+        if not donors or not receivers:
+            break
+        donor = max(
+            donors, key=lambda w: (w.num_waiting, -w.worker_id)
+        )
+        receiver = min(
+            receivers,
+            key=lambda w: (w.num_waiting - w.free_slots, w.worker_id),
+        )
+        stolen = donor.steal(1)
+        if not stolen:
+            break
+        request, predicted, waited = stolen[0]
+        receiver.enqueue(request, predicted, waited=waited)
+        moves.append(
+            (request.request_id, donor.worker_id, receiver.worker_id)
+        )
+    return moves

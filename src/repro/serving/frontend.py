@@ -1,0 +1,432 @@
+"""The serving front-end: async request API over batched spec decode.
+
+:class:`ServingEngine` turns the closed-loop batched engine into an
+online system: requests arrive over virtual time with SLO classes, a
+dispatch policy routes them across N workers (each one
+:class:`~repro.specdec.batch_engine.BatchedSpecDecodeEngine` driven
+cycle-at-a-time through its incremental ``step()`` surface), queued
+requests are work-stolen from backlogged workers, and requests can be
+cancelled mid-decode — explicitly or by SLO deadline — without
+perturbing a single committed token of any survivor.
+
+One :meth:`ServingEngine.tick` is one discrete-event step:
+
+1. arrivals whose time has come are dispatched to workers;
+2. deadline-expired requests are cancelled at the cycle boundary;
+3. queued requests are rebalanced by work stealing (optional);
+4. every worker with work runs exactly one decode cycle — all workers
+   advance in the same tick because real deployments run them on
+   separate accelerators in parallel;
+5. the clock advances by one tick.
+
+Determinism: requests carry private seeded streams, workers step in a
+fixed order, and every policy breaks ties by id — a fixed trace replays
+byte-identically, which is what the latency/SLO benchmarks rely on.
+
+When per-worker :class:`~repro.rollout.adaptive.AdaptiveSdManager`\\ s are
+attached, each worker consults *its own* live-batch size every cycle —
+the serving layer is where the paper's elastic SD activation meets real
+multi-worker batch dynamics (workers drained by the dispatcher drop
+below the threshold and engage SD while busy neighbours keep decoding
+vanilla).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.drafter.base import Drafter
+from repro.errors import ConfigError, ServingError
+from repro.llm.model import TinyLM
+from repro.rollout.adaptive import AdaptiveSdManager
+from repro.serving.clock import VirtualClock
+from repro.serving.dispatch import (
+    DispatchPolicy,
+    RoundRobinDispatch,
+    steal_work,
+)
+from repro.serving.metrics import RequestRecord, ServingReport
+from repro.serving.request import RequestState, ServingRequest
+from repro.specdec.batch_engine import (
+    BatchedSpecDecodeEngine,
+    EngineStep,
+    make_serving_request,
+)
+from repro.specdec.scheduler import SequenceRequest
+from repro.specdec.strategy import SdStrategy
+from repro.specdec.tree import ChildMode
+
+
+class ServingWorker:
+    """One decode worker: an incremental engine plus dispatch metadata.
+
+    Args:
+        worker_id: stable index of this worker in the pool.
+        engine: the batched engine this worker drives cycle-at-a-time
+            (an incremental session is opened immediately).
+    """
+
+    def __init__(
+        self, worker_id: int, engine: BatchedSpecDecodeEngine
+    ) -> None:
+        self.worker_id = worker_id
+        self.engine = engine
+        engine.start(())
+        self.busy_cycles = 0
+        self._predicted: Dict[int, int] = {}
+
+    # -- load surface (read by dispatch policies) --------------------------
+
+    @property
+    def num_live(self) -> int:
+        """Sequences currently decoding on this worker."""
+        return self.engine.num_live
+
+    @property
+    def num_waiting(self) -> int:
+        """Requests queued on this worker, not yet admitted."""
+        return self.engine.num_waiting
+
+    @property
+    def has_work(self) -> bool:
+        """Whether the worker has anything to decode."""
+        return self.engine.has_work
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Live-slot capacity (None = unbounded)."""
+        return self.engine.max_batch_size
+
+    @property
+    def free_slots(self) -> int:
+        """Live slots an admitted request could take right now."""
+        if self.capacity is None:
+            return max(0, 1_000_000 - self.num_live)
+        return max(0, self.capacity - self.num_live)
+
+    @property
+    def backlog_tokens(self) -> int:
+        """Predicted outstanding decode work in tokens.
+
+        Live slots contribute their remaining cap (the true upper bound
+        on what is left); queued requests contribute the dispatcher's
+        predicted length.
+        """
+        remaining = sum(
+            slot.request.max_new_tokens - len(slot.response)
+            for slot in self.engine.scheduler.live
+        )
+        queued = sum(
+            self._predicted.get(
+                request.request_id, request.max_new_tokens
+            )
+            for request in self.engine.scheduler.waiting
+        )
+        return remaining + queued
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enqueue(
+        self, request: SequenceRequest, predicted: int, waited: int = 0
+    ) -> None:
+        """Queue a request on this worker with its predicted length.
+
+        ``waited`` carries cycles already spent queued on a donor worker
+        (work stealing) so the admission-wait metrics accumulate.
+        """
+        self._predicted[request.request_id] = int(predicted)
+        self.engine.scheduler.push(request, waited=waited)
+
+    def steal(
+        self, count: int = 1
+    ) -> List[Tuple[SequenceRequest, int, int]]:
+        """Give up to ``count`` queued requests (prediction + wait)."""
+        stolen = self.engine.scheduler.steal_waiting(count)
+        return [
+            (
+                request,
+                self._predicted.pop(
+                    request.request_id, request.max_new_tokens
+                ),
+                waited,
+            )
+            for request, waited in stolen
+        ]
+
+    def cancel(self, request_id: int):
+        """Cancel a queued or live request at the cycle boundary."""
+        self._predicted.pop(request_id, None)
+        return self.engine.cancel(request_id)
+
+    def step(self) -> Optional[EngineStep]:
+        """Run one decode cycle; returns None when the worker is idle."""
+        if not self.engine.has_work:
+            return None
+        self.busy_cycles += 1
+        outcome = self.engine.step()
+        for slot in outcome.retired:
+            self._predicted.pop(slot.request.request_id, None)
+        return outcome
+
+
+class ServingEngine:
+    """SLO-aware online serving over N batched spec-decode workers.
+
+    Args:
+        target: the target model (shared across workers — one replica
+            each in a real deployment; the algorithmic layer shares the
+            weights object).
+        drafter: the draft model (shared likewise).
+        num_workers: decode workers in the pool.
+        strategy: static SD configuration (omit when managers drive the
+            per-cycle choice).
+        sd_managers: optional per-worker adaptive managers (exactly one
+            per worker); each sees its own worker's live-batch size.
+        temperature: sampling temperature.
+        child_mode: tree child expansion mode (``sample`` is lossless).
+        use_tree: tree-based drafting (default) or linear chains.
+        max_batch_size: per-worker live-slot capacity (None = unbounded;
+            finite capacity is what makes queueing — and dispatch —
+            matter).
+        dispatch: routing policy for arrivals (round-robin when omitted).
+        work_stealing: rebalance queued requests between cycles.
+        add_bos: prepend BOS to request prompts.
+    """
+
+    def __init__(
+        self,
+        target: TinyLM,
+        drafter: Drafter,
+        num_workers: int = 1,
+        strategy: Optional[SdStrategy] = None,
+        sd_managers: Optional[Sequence[AdaptiveSdManager]] = None,
+        temperature: float = 0.8,
+        child_mode: ChildMode = "sample",
+        use_tree: bool = True,
+        max_batch_size: Optional[int] = None,
+        dispatch: Optional[DispatchPolicy] = None,
+        work_stealing: bool = True,
+        add_bos: bool = True,
+    ) -> None:
+        if num_workers < 1:
+            raise ConfigError(
+                f"num_workers must be >= 1, got {num_workers}"
+            )
+        if sd_managers is not None and len(sd_managers) != num_workers:
+            raise ConfigError(
+                f"need one sd_manager per worker: got {len(sd_managers)} "
+                f"for {num_workers} workers"
+            )
+        self.clock = VirtualClock()
+        self.dispatch = dispatch or RoundRobinDispatch()
+        self.work_stealing = work_stealing
+        self.add_bos = add_bos
+        self.managers = list(sd_managers) if sd_managers else []
+        self.workers: List[ServingWorker] = []
+        for worker_id in range(num_workers):
+            engine = BatchedSpecDecodeEngine(
+                target,
+                drafter,
+                strategy,
+                temperature,
+                child_mode=child_mode,
+                use_tree=use_tree,
+                max_batch_size=max_batch_size,
+                sd_manager=(
+                    self.managers[worker_id] if self.managers else None
+                ),
+            )
+            self.workers.append(ServingWorker(worker_id, engine))
+        self.records: Dict[int, RequestRecord] = {}
+        self._arrivals: List[Tuple[float, int]] = []  # heap
+        self._deadlines: List[Tuple[float, int]] = []  # heap
+        self.stolen = 0
+
+    # -- request API -------------------------------------------------------
+
+    def submit(self, request: ServingRequest) -> None:
+        """Register an online request (dispatched once its time comes)."""
+        if request.request_id in self.records:
+            raise ServingError(
+                f"duplicate request_id {request.request_id}"
+            )
+        self.records[request.request_id] = RequestRecord(request=request)
+        heapq.heappush(
+            self._arrivals, (request.arrival_time, request.request_id)
+        )
+        if request.slo.deadline is not None:
+            heapq.heappush(
+                self._deadlines,
+                (
+                    request.arrival_time + request.slo.deadline,
+                    request.request_id,
+                ),
+            )
+
+    def cancel(self, request_id: int) -> bool:
+        """Cancel a request wherever it is in its lifecycle.
+
+        Pending requests are dropped before dispatch; queued and live
+        requests are cancelled at the worker's next cycle boundary
+        (partial responses are retained on the record).  Survivors'
+        committed tokens are untouched.
+
+        Returns:
+            True when the request existed and was still cancellable.
+        """
+        record = self.records.get(request_id)
+        if record is None or record.state in (
+            RequestState.FINISHED,
+            RequestState.CANCELLED,
+        ):
+            return False
+        if record.state is not RequestState.PENDING:
+            assert record.worker_id is not None
+            slot = self.workers[record.worker_id].cancel(request_id)
+            if slot is not None:
+                record.response = list(slot.response)
+        # PENDING requests are lazily skipped when their arrival pops.
+        record.state = RequestState.CANCELLED
+        record.finish_time = self.clock.now
+        return True
+
+    # -- event loop --------------------------------------------------------
+
+    def tick(self) -> None:
+        """Run one discrete-event step (see module docstring)."""
+        now = self.clock.now
+        self._dispatch_arrivals(now)
+        self._expire_deadlines(now)
+        if self.work_stealing and len(self.workers) > 1:
+            moves = steal_work(self.workers)
+            for request_id, _donor, receiver in moves:
+                record = self.records[request_id]
+                record.worker_id = receiver
+                record.stolen += 1
+            self.stolen += len(moves)
+        completion = now + 1.0  # cycles complete at the end of the tick
+        for worker in self.workers:
+            outcome = worker.step()
+            if outcome is None:
+                continue
+            for slot in outcome.admitted:
+                record = self.records[slot.request.request_id]
+                record.state = RequestState.RUNNING
+                record.admit_time = now
+            for slot in worker.engine.scheduler.live + outcome.retired:
+                record = self.records[slot.request.request_id]
+                if (
+                    record.first_token_time is None
+                    and len(slot.response) > 0
+                ):
+                    record.first_token_time = completion
+            for slot in outcome.retired:
+                record = self.records[slot.request.request_id]
+                record.state = RequestState.FINISHED
+                record.finish_time = completion
+                record.response = list(slot.response)
+        self.clock.advance(1.0)
+
+    def run(
+        self,
+        requests: Sequence[ServingRequest] = (),
+        max_ticks: int = 1_000_000,
+    ) -> ServingReport:
+        """Serve ``requests`` (plus earlier submissions) to completion.
+
+        Args:
+            requests: trace to submit before starting.
+            max_ticks: safety bound on virtual time.
+
+        Returns:
+            The run's :class:`~repro.serving.metrics.ServingReport`.
+        """
+        for request in requests:
+            self.submit(request)
+        ticks = 0
+        while self._unresolved() and ticks < max_ticks:
+            self.tick()
+            ticks += 1
+        if self._unresolved():
+            raise ServingError(
+                f"serving run did not drain within {max_ticks} ticks"
+            )
+        return self.report()
+
+    def report(self) -> ServingReport:
+        """Aggregate the current records into a report."""
+        return ServingReport(
+            records=[
+                self.records[request_id]
+                for request_id in sorted(self.records)
+            ],
+            ticks=self.clock.now,
+            worker_busy_cycles=[w.busy_cycles for w in self.workers],
+            worker_target_steps=[
+                w.engine.target_steps for w in self.workers
+            ],
+            stolen=self.stolen,
+            policy=self.dispatch.name,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _unresolved(self) -> bool:
+        """Whether any request is pending, queued, or running."""
+        if any(w.has_work for w in self.workers):
+            return True
+        return any(
+            r.state
+            in (
+                RequestState.PENDING,
+                RequestState.QUEUED,
+                RequestState.RUNNING,
+            )
+            for r in self.records.values()
+        )
+
+    def _dispatch_arrivals(self, now: float) -> None:
+        """Route every request whose arrival time has come."""
+        while self._arrivals and self._arrivals[0][0] <= now:
+            _, request_id = heapq.heappop(self._arrivals)
+            record = self.records[request_id]
+            if record.state is not RequestState.PENDING:
+                continue  # cancelled before arrival
+            request = record.request
+            index = self.dispatch.choose(request, self.workers)
+            if not 0 <= index < len(self.workers):
+                raise ServingError(
+                    f"dispatch policy {self.dispatch.name!r} chose "
+                    f"worker {index} of {len(self.workers)}"
+                )
+            worker = self.workers[index]
+            worker.enqueue(
+                make_serving_request(
+                    request_id=request.request_id,
+                    prompt=request.prompt,
+                    max_new_tokens=request.max_new_tokens,
+                    seed=request.seed,
+                    add_bos=self.add_bos,
+                ),
+                predicted=request.dispatch_length,
+            )
+            record.state = RequestState.QUEUED
+            record.worker_id = worker.worker_id
+            record.dispatch_time = now
+
+    def _expire_deadlines(self, now: float) -> None:
+        """Cancel unfinished requests whose SLO deadline has passed.
+
+        Deadlines live in a heap keyed by expiry time, so each tick pays
+        O(expired) rather than a scan of every record ever submitted.
+        """
+        while self._deadlines and self._deadlines[0][0] <= now:
+            _, request_id = heapq.heappop(self._deadlines)
+            record = self.records[request_id]
+            if record.state in (
+                RequestState.FINISHED,
+                RequestState.CANCELLED,
+            ):
+                continue
+            self.cancel(request_id)

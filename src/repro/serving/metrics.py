@@ -1,0 +1,246 @@
+"""Per-request latency/TTFT/SLO accounting for the serving front-end.
+
+The front-end keeps one :class:`RequestRecord` per submitted request and
+stamps its lifecycle transitions with virtual-clock times; the final
+:class:`ServingReport` aggregates them into the numbers an online system
+is judged by — p50/p99 completion latency, time-to-first-token, and SLO
+attainment per class — plus per-worker utilisation, which is the signal
+that closes the loop back into the adaptive SD layer (each worker's
+:class:`~repro.rollout.adaptive.AdaptiveSdManager` already sees its own
+live-batch size every cycle; the report shows what that bought).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.request import RequestState, ServingRequest
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle trace of one online request.
+
+    All times are virtual-clock ticks; ``None`` means the transition has
+    not happened (yet).
+
+    Attributes:
+        request: the submitted request.
+        state: current lifecycle state.
+        worker_id: worker the request was dispatched to (updated when
+            work stealing moves it).
+        dispatch_time: when the front-end routed it to a worker.
+        admit_time: when the worker admitted it into a live slot.
+        first_token_time: completion time of the cycle that committed its
+            first response token.
+        finish_time: completion time of its last cycle (finish or
+            cancellation).
+        response: committed response tokens (partial when cancelled).
+        stolen: times the request was moved by work stealing.
+    """
+
+    request: ServingRequest
+    state: RequestState = RequestState.PENDING
+    worker_id: Optional[int] = None
+    dispatch_time: Optional[float] = None
+    admit_time: Optional[float] = None
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    response: List[int] = field(default_factory=list)
+    stolen: int = 0
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Whether the request completed normally."""
+        return self.state is RequestState.FINISHED
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the request was cancelled (explicitly or by deadline)."""
+        return self.state is RequestState.CANCELLED
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Arrival-to-completion latency (None while unresolved)."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.request.arrival_time
+
+    @property
+    def ttft(self) -> Optional[float]:
+        """Arrival-to-first-token time (None before the first token)."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.request.arrival_time
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Arrival-to-admission wait (None while queued)."""
+        if self.admit_time is None:
+            return None
+        return self.admit_time - self.request.arrival_time
+
+    @property
+    def ttft_met(self) -> bool:
+        """Whether the TTFT target was met."""
+        ttft = self.ttft
+        return ttft is not None and ttft <= self.request.slo.ttft_target
+
+    @property
+    def latency_met(self) -> bool:
+        """Whether the completion-latency target was met (finished only)."""
+        latency = self.latency
+        return (
+            self.finished
+            and latency is not None
+            and latency <= self.request.slo.latency_target
+        )
+
+    @property
+    def slo_met(self) -> bool:
+        """Both targets met; cancelled requests never meet their SLO."""
+        return self.latency_met and self.ttft_met
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """np.percentile with an empty-input guard (returns 0.0)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of one serving run.
+
+    Attributes:
+        records: per-request lifecycle records in request-id order.
+        ticks: virtual time the run spanned.
+        worker_busy_cycles: decode cycles each worker executed.
+        worker_target_steps: batched target launches each worker spent.
+        stolen: queued requests moved between workers by work stealing.
+        policy: dispatch-policy name (labelling only).
+    """
+
+    records: List[RequestRecord]
+    ticks: float
+    worker_busy_cycles: List[int]
+    worker_target_steps: List[int]
+    stolen: int = 0
+    policy: str = ""
+
+    # -- slices ------------------------------------------------------------
+
+    @property
+    def finished_records(self) -> List[RequestRecord]:
+        """Requests that completed normally."""
+        return [r for r in self.records if r.finished]
+
+    @property
+    def cancelled_records(self) -> List[RequestRecord]:
+        """Requests that were cancelled."""
+        return [r for r in self.records if r.cancelled]
+
+    @property
+    def latencies(self) -> List[float]:
+        """Completion latencies of finished requests."""
+        return [
+            r.latency for r in self.finished_records
+            if r.latency is not None
+        ]
+
+    @property
+    def ttfts(self) -> List[float]:
+        """TTFTs of every request that produced at least one token."""
+        return [r.ttft for r in self.records if r.ttft is not None]
+
+    # -- headline numbers --------------------------------------------------
+
+    def latency_percentile(self, q: float) -> float:
+        """Completion-latency percentile over finished requests."""
+        return _percentile(self.latencies, q)
+
+    def ttft_percentile(self, q: float) -> float:
+        """TTFT percentile over requests that produced a token."""
+        return _percentile(self.ttfts, q)
+
+    @property
+    def p50_latency(self) -> float:
+        """Median completion latency."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency(self) -> float:
+        """Tail completion latency — the long-tail headline number."""
+        return self.latency_percentile(99.0)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of ALL requests meeting their SLO (cancelled = miss)."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.slo_met) / len(self.records)
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens committed across all requests (partials included)."""
+        return sum(len(r.response) for r in self.records)
+
+    @property
+    def throughput(self) -> float:
+        """Committed tokens per tick of virtual time."""
+        if self.ticks <= 0:
+            return 0.0
+        return self.total_tokens / self.ticks
+
+    @property
+    def utilization(self) -> List[float]:
+        """Busy fraction per worker (cycles executed / elapsed ticks)."""
+        if self.ticks <= 0:
+            return [0.0 for _ in self.worker_busy_cycles]
+        return [c / self.ticks for c in self.worker_busy_cycles]
+
+    def per_class(self) -> Dict[str, Dict[str, float]]:
+        """Latency/TTFT/attainment breakdown per SLO class."""
+        out: Dict[str, Dict[str, float]] = {}
+        by_class: Dict[str, List[RequestRecord]] = {}
+        for record in self.records:
+            by_class.setdefault(record.request.slo.name, []).append(record)
+        for name, records in sorted(by_class.items()):
+            finished = [
+                r.latency for r in records
+                if r.finished and r.latency is not None
+            ]
+            ttfts = [r.ttft for r in records if r.ttft is not None]
+            out[name] = {
+                "requests": float(len(records)),
+                "finished": float(sum(1 for r in records if r.finished)),
+                "cancelled": float(sum(1 for r in records if r.cancelled)),
+                "p50_latency": _percentile(finished, 50.0),
+                "p99_latency": _percentile(finished, 99.0),
+                "p99_ttft": _percentile(ttfts, 99.0),
+                "slo_attainment": (
+                    sum(1 for r in records if r.slo_met) / len(records)
+                ),
+            }
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline numbers (benchmark rows)."""
+        return {
+            "requests": float(len(self.records)),
+            "finished": float(len(self.finished_records)),
+            "cancelled": float(len(self.cancelled_records)),
+            "p50_latency": self.p50_latency,
+            "p99_latency": self.p99_latency,
+            "p99_ttft": self.ttft_percentile(99.0),
+            "slo_attainment": self.slo_attainment,
+            "throughput": self.throughput,
+            "ticks": float(self.ticks),
+            "stolen": float(self.stolen),
+        }

@@ -16,6 +16,8 @@ from repro.specdec.acceptance import (
 from repro.specdec.batch_engine import (
     BatchedGenerationResult,
     BatchedSpecDecodeEngine,
+    EngineStep,
+    make_serving_request,
 )
 from repro.specdec.engine import (
     SpeculativeGenerationOutput,
@@ -67,6 +69,8 @@ __all__ = [
     "SpeculativeGenerationOutput",
     "BatchedSpecDecodeEngine",
     "BatchedGenerationResult",
+    "EngineStep",
+    "make_serving_request",
     "BatchCycleReport",
     "ContinuousBatchScheduler",
     "SequenceRequest",

@@ -10,6 +10,15 @@ into the freed slots.  The target-launch count therefore scales with the
 number of *cycles of the slowest sequence*, not with the sum of
 per-sequence cycles — the long-tail regime the paper analyzes.
 
+The engine is **incrementally drivable**: :meth:`BatchedSpecDecodeEngine.
+start` opens a decoding session, :meth:`~BatchedSpecDecodeEngine.step`
+runs exactly one admission + draft/verify + retirement cycle, and
+:meth:`~BatchedSpecDecodeEngine.admit` / :meth:`~BatchedSpecDecodeEngine.
+cancel` mutate the request set between cycles.  The serving front-end
+(:mod:`repro.serving`) drives one engine per worker cycle-at-a-time this
+way; :meth:`~BatchedSpecDecodeEngine.generate` is the closed-loop batch
+wrapper (start, step until drained, collect).
+
 Two properties are load-bearing:
 
 * **Losslessness** — each request owns a private random stream (see
@@ -17,9 +26,12 @@ Two properties are load-bearing:
   same order regardless of batching, and batched target rows are
   numerically identical to per-sequence rows; under a static strategy,
   committed tokens are therefore token-for-token equal to sequential
-  decoding under a fixed seed in ``sample`` child mode.  (With an
-  attached manager the elastic SD/vanilla decision reads the live-batch
-  size, so the slot capacity legitimately shapes the output.)
+  decoding under a fixed seed in ``sample`` child mode.  The same
+  argument covers cancellation: removing one slot between cycles leaves
+  every survivor's stream and rows untouched, so survivors' outputs are
+  byte-identical to an uncancelled run.  (With an attached manager the
+  elastic SD/vanilla decision reads the live-batch size, so the slot
+  capacity legitimately shapes the output.)
 * **Real batch dynamics** — when an
   :class:`~repro.rollout.adaptive.AdaptiveSdManager` is attached, each
   cycle consults it with the *actual* live-batch size: above the elastic
@@ -63,7 +75,8 @@ class BatchedGenerationResult:
     """Raw output of one :meth:`BatchedSpecDecodeEngine.generate` run.
 
     Attributes:
-        slots: finished per-request decoding slots in request order.
+        slots: finished per-request decoding slots in request order
+            (cancelled requests included, flagged ``cancelled``).
         metrics: aggregate draft/accept statistics across all sequences.
         target_steps: batched target forward launches (prefill waves,
             SD verifications and vanilla steps each count once).
@@ -91,6 +104,22 @@ class BatchedGenerationResult:
     def vanilla_cycles(self) -> int:
         """Cycles that decoded vanilla (above the elastic threshold)."""
         return sum(1 for r in self.cycle_reports if not r.sd_active)
+
+
+@dataclass
+class EngineStep:
+    """Outcome of one incremental :meth:`BatchedSpecDecodeEngine.step`.
+
+    Attributes:
+        report: the cycle's :class:`~repro.specdec.scheduler.
+            BatchCycleReport` (also appended to the session trail).
+        admitted: slots admitted from the waiting queue this cycle.
+        retired: slots that finished (EOS or length cap) this cycle.
+    """
+
+    report: BatchCycleReport
+    admitted: List[SequenceSlot]
+    retired: List[SequenceSlot]
 
 
 class BatchedSpecDecodeEngine:
@@ -133,8 +162,164 @@ class BatchedSpecDecodeEngine:
         self.use_tree = use_tree
         self.max_batch_size = max_batch_size
         self.sd_manager = sd_manager
+        self._scheduler: Optional[ContinuousBatchScheduler] = None
+        self._metrics = SdRunMetrics()
+        self._target_steps = 0
+        self._reports: List[BatchCycleReport] = []
 
-    # -- public API --------------------------------------------------------
+    # -- incremental session API -------------------------------------------
+
+    def start(self, requests: Sequence[SequenceRequest] = ()) -> None:
+        """Open an incremental decoding session.
+
+        Resets metrics, the launch counter, the cycle trail, and (when
+        attached) the adaptive manager's per-rollout activation state.
+        Further requests can be :meth:`admit`-ted between cycles.
+        """
+        self._scheduler = ContinuousBatchScheduler(
+            list(requests), self.max_batch_size
+        )
+        if self.sd_manager is not None:
+            self.sd_manager.reset()
+        self._metrics = SdRunMetrics()
+        self._target_steps = 0
+        self._reports = []
+
+    @property
+    def scheduler(self) -> ContinuousBatchScheduler:
+        """The open session's scheduler (raises before :meth:`start`)."""
+        if self._scheduler is None:
+            raise SpecDecodeError(
+                "no decoding session open; call start() first"
+            )
+        return self._scheduler
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any request is live or waiting in the open session."""
+        return self._scheduler is not None and self._scheduler.has_work
+
+    @property
+    def num_live(self) -> int:
+        """Live sequences in the open session (0 before start)."""
+        return 0 if self._scheduler is None else self._scheduler.num_live
+
+    @property
+    def num_waiting(self) -> int:
+        """Waiting requests in the open session (0 before start)."""
+        return 0 if self._scheduler is None else self._scheduler.num_waiting
+
+    @property
+    def target_steps(self) -> int:
+        """Batched target forward launches spent so far this session."""
+        return self._target_steps
+
+    @property
+    def metrics(self) -> SdRunMetrics:
+        """The open session's running metrics."""
+        return self._metrics
+
+    @property
+    def cycle_reports(self) -> List[BatchCycleReport]:
+        """The open session's per-cycle trail (shared list)."""
+        return self._reports
+
+    def admit(self, request: SequenceRequest) -> None:
+        """Enqueue a request into the open session's waiting queue."""
+        self.scheduler.push(request)
+
+    def cancel(self, request_id: int) -> Optional[SequenceSlot]:
+        """Cancel a waiting or live request at the cycle boundary.
+
+        Survivors are unaffected token-for-token (private per-request
+        random streams + row-identical batched forwards).  Returns the
+        cancelled slot (partial response retained) or None when the
+        request is unknown or already finished.
+        """
+        return self.scheduler.cancel(request_id)
+
+    def step(self) -> EngineStep:
+        """Run exactly one admission + decode + retirement cycle."""
+        scheduler = self.scheduler
+        if not scheduler.has_work:
+            raise SpecDecodeError("step() called with no live or waiting work")
+        admitted = scheduler.admit()
+        self._target_steps += self._prefill(admitted)
+        live = list(scheduler.live)
+        batch = len(live)
+        strategy = self.strategy
+        sd_active = True
+        if self.sd_manager is not None:
+            if self.sd_manager.should_use_sd(batch):
+                self.sd_manager.engage(batch)
+                strategy = self.sd_manager.select_strategy(batch)
+            else:
+                sd_active = False
+        if sd_active:
+            assert strategy is not None
+            cycle_stats = self._sd_cycle(live, strategy, self._metrics)
+            self._target_steps += 1
+            if self.sd_manager is not None:
+                # Cost proxy: rows pushed through the target plus
+                # drafter steps.  Deterministic (unlike wall-clock,
+                # which would let a CPU spike flip the bandit's arm
+                # choice and break seeded reproducibility) while
+                # still charging verification-heavy strategies more.
+                cost = float(
+                    sum(
+                        c.verify_batch + c.draft_steps
+                        for c in cycle_stats
+                    )
+                )
+                self.sd_manager.record(
+                    strategy,
+                    cost,
+                    [float(c.accepted) for c in cycle_stats],
+                    batch,
+                )
+            committed = sum(c.committed for c in cycle_stats)
+            drafted = sum(c.drafted for c in cycle_stats)
+            verify_rows = sum(c.verify_batch for c in cycle_stats)
+        else:
+            self._vanilla_cycle(live)
+            self._target_steps += 1
+            committed = batch
+            drafted = 0
+            verify_rows = batch
+        retired = scheduler.retire_finished()
+        wait_cycles = [slot.wait_cycles for slot in admitted]
+        for wait in wait_cycles:
+            self._metrics.record_wait(wait)
+        self._metrics.record_queue_depth(scheduler.num_waiting)
+        report = BatchCycleReport(
+            index=len(self._reports),
+            live_batch=batch,
+            admitted=len(admitted),
+            retired=len(retired),
+            sd_active=sd_active,
+            strategy=strategy if sd_active else None,
+            committed_tokens=committed,
+            drafted_tokens=drafted,
+            verify_rows=verify_rows,
+            queue_depth=scheduler.num_waiting,
+            mean_wait_cycles=(
+                sum(wait_cycles) / len(wait_cycles) if wait_cycles else 0.0
+            ),
+        )
+        self._reports.append(report)
+        scheduler.tick()
+        return EngineStep(report=report, admitted=admitted, retired=retired)
+
+    def result(self) -> BatchedGenerationResult:
+        """Collect the drained session's output (request order preserved)."""
+        return BatchedGenerationResult(
+            slots=self.scheduler.results(),
+            metrics=self._metrics,
+            target_steps=self._target_steps,
+            cycle_reports=list(self._reports),
+        )
+
+    # -- closed-loop batch API ---------------------------------------------
 
     def generate(
         self,
@@ -160,78 +345,10 @@ class BatchedSpecDecodeEngine:
                 f"max_new_tokens must be >= 1, got {max_new_tokens}"
             )
         requests = self._make_requests(prompts, max_new_tokens, rng, add_bos)
-        scheduler = ContinuousBatchScheduler(requests, self.max_batch_size)
-        if self.sd_manager is not None:
-            self.sd_manager.reset()
-
-        metrics = SdRunMetrics()
-        target_steps = 0
-        reports: List[BatchCycleReport] = []
-        while scheduler.has_work:
-            admitted = scheduler.admit()
-            target_steps += self._prefill(admitted)
-            live = list(scheduler.live)
-            batch = len(live)
-            strategy = self.strategy
-            sd_active = True
-            if self.sd_manager is not None:
-                if self.sd_manager.should_use_sd(batch):
-                    self.sd_manager.engage(batch)
-                    strategy = self.sd_manager.select_strategy(batch)
-                else:
-                    sd_active = False
-            if sd_active:
-                assert strategy is not None
-                cycle_stats = self._sd_cycle(live, strategy, metrics)
-                target_steps += 1
-                if self.sd_manager is not None:
-                    # Cost proxy: rows pushed through the target plus
-                    # drafter steps.  Deterministic (unlike wall-clock,
-                    # which would let a CPU spike flip the bandit's arm
-                    # choice and break seeded reproducibility) while
-                    # still charging verification-heavy strategies more.
-                    cost = float(
-                        sum(
-                            c.verify_batch + c.draft_steps
-                            for c in cycle_stats
-                        )
-                    )
-                    self.sd_manager.record(
-                        strategy,
-                        cost,
-                        [float(c.accepted) for c in cycle_stats],
-                        batch,
-                    )
-                committed = sum(c.committed for c in cycle_stats)
-                drafted = sum(c.drafted for c in cycle_stats)
-                verify_rows = sum(c.verify_batch for c in cycle_stats)
-            else:
-                self._vanilla_cycle(live)
-                target_steps += 1
-                committed = batch
-                drafted = 0
-                verify_rows = batch
-            retired = scheduler.retire_finished()
-            reports.append(
-                BatchCycleReport(
-                    index=len(reports),
-                    live_batch=batch,
-                    admitted=len(admitted),
-                    retired=len(retired),
-                    sd_active=sd_active,
-                    strategy=strategy if sd_active else None,
-                    committed_tokens=committed,
-                    drafted_tokens=drafted,
-                    verify_rows=verify_rows,
-                )
-            )
-
-        return BatchedGenerationResult(
-            slots=scheduler.results(),
-            metrics=metrics,
-            target_steps=target_steps,
-            cycle_reports=reports,
-        )
+        self.start(requests)
+        while self.has_work:
+            self.step()
+        return self.result()
 
     # -- cycle stages ------------------------------------------------------
 
@@ -360,3 +477,31 @@ class BatchedSpecDecodeEngine:
             token = int(sample_from_probs(probs[row][None, :], slot.rng)[0])
             slot.commit([token], EOS_ID)
             slot.hidden = stack[row].copy()
+
+
+def make_serving_request(
+    request_id: int,
+    prompt: Sequence[int],
+    max_new_tokens: int,
+    seed: int,
+    add_bos: bool = True,
+) -> SequenceRequest:
+    """Build a :class:`SequenceRequest` with its own seeded stream.
+
+    The serving front-end derives one of these per online request: the
+    private stream makes the committed tokens independent of which worker
+    decodes it, when it is admitted, and which neighbours it batches with.
+    """
+    if max_new_tokens < 1:
+        raise SpecDecodeError(
+            f"max_new_tokens must be >= 1, got {max_new_tokens}"
+        )
+    prompt_list = [int(t) for t in prompt]
+    if add_bos:
+        prompt_list = [BOS_ID] + prompt_list
+    return SequenceRequest(
+        request_id=request_id,
+        prompt=prompt_list,
+        max_new_tokens=max_new_tokens,
+        rng=np.random.default_rng(int(seed)),
+    )

@@ -91,18 +91,28 @@ def draft_chain(
     draft_depth: int,
     temperature: float,
     rng: np.random.Generator,
+    initial_state: Optional[object] = None,
 ) -> Tuple[List[int], List[np.ndarray]]:
     """Sample one speculative chain (the drafting stage).
 
     Returns the drafted tokens and, per position, the draft distribution
     each was drawn from (needed by the acceptance rule).
+
+    Args:
+        initial_state: prebuilt drafting state for this prefix (from a
+            batched ``drafter.begin_batch`` call); when omitted the chain
+            begins the drafter itself.
     """
     if draft_depth < 1:
         raise SpecDecodeError(f"draft_depth must be >= 1, got {draft_depth}")
     prefix = [int(t) for t in prefix_tokens]
     if not prefix:
         raise SpecDecodeError("prefix must be non-empty")
-    state = drafter.begin(prefix, last_hidden)
+    state = (
+        initial_state
+        if initial_state is not None
+        else drafter.begin(prefix, last_hidden)
+    )
     draft_tokens: List[int] = []
     draft_dists: List[np.ndarray] = []
     for _ in range(draft_depth):
@@ -132,6 +142,12 @@ def linear_decode_steps(
     each sequence runs its accept/reject chain with its own random stream.
     Row results equal per-sequence verification, so committed tokens match
     :func:`linear_decode_step` exactly.
+
+    Drafting is batched too where it can be: all sequences' initial
+    drafting states are built in ONE ``drafter.begin_batch`` call (a
+    single fuse+cell matmul for learned drafters; the base class falls
+    back to per-sequence ``begin``), which must be row-identical to the
+    fallback so tokens stay identical.
     """
     if not (len(prefixes) == len(last_hiddens) == len(rngs)):
         raise SpecDecodeError(
@@ -140,15 +156,21 @@ def linear_decode_steps(
         )
     if not prefixes:
         return []
+    clean_prefixes = [[int(t) for t in p] for p in prefixes]
+    if draft_depth < 1:
+        raise SpecDecodeError(f"draft_depth must be >= 1, got {draft_depth}")
+    if any(not p for p in clean_prefixes):
+        raise SpecDecodeError("prefix must be non-empty")
+    states = drafter.begin_batch(clean_prefixes, list(last_hiddens))
     chains: List[Tuple[List[int], List[np.ndarray]]] = []
     all_paths: List[List[int]] = []
     offsets: List[int] = []
-    for prefix_tokens, last_hidden, rng in zip(
-        prefixes, last_hiddens, rngs
+    for prefix, last_hidden, rng, state in zip(
+        clean_prefixes, last_hiddens, rngs, states
     ):
-        prefix = [int(t) for t in prefix_tokens]
         draft_tokens, draft_dists = draft_chain(
-            drafter, prefix, last_hidden, draft_depth, temperature, rng
+            drafter, prefix, last_hidden, draft_depth, temperature, rng,
+            initial_state=state,
         )
         chains.append((draft_tokens, draft_dists))
         offsets.append(len(all_paths))

@@ -7,24 +7,34 @@ EOS or at their length cap — freeing the slot for the next waiting
 request.  This module owns that lifecycle so the decode engine
 (:mod:`repro.specdec.batch_engine`) can focus on the per-cycle math.
 
+Since the serving front-end (:mod:`repro.serving`) drives engines
+cycle-at-a-time, the scheduler also supports the *online* lifecycle:
+requests can be :meth:`~ContinuousBatchScheduler.push`-ed while decoding
+is underway, :meth:`~ContinuousBatchScheduler.cancel`-led (mid-decode or
+while still waiting), and waiting requests can be
+:meth:`~ContinuousBatchScheduler.steal_waiting`-ed by another worker's
+scheduler for load balancing.
+
 Each request carries its *own* random generator stream (derived from the
 caller's master generator).  That is what makes the committed tokens
 independent of scheduling: a sequence draws the same randomness whether it
 decodes alone (``max_batch_size=1``) or interleaved with an arbitrary set
 of neighbours, so batched and sequential execution are token-for-token
-identical under a fixed seed.
+identical under a fixed seed.  The same property makes cancellation
+non-perturbing: retiring one slot never touches any survivor's stream.
 
 The per-cycle :class:`BatchCycleReport` trail is the engine's contact
 surface with the adaptive layer: it records the live-batch size the
 :class:`~repro.rollout.adaptive.AdaptiveSdManager` saw, which strategy ran
-and what it committed — real batch dynamics rather than simulated ones.
+and what it committed, plus the queue depth and admission waiting times
+that the serving layer's dispatch policies act on.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,7 +47,8 @@ class SequenceRequest:
     """One generation request submitted to the batched engine.
 
     Attributes:
-        request_id: position in the caller's prompt list (output order).
+        request_id: unique id; the caller's prompt-list position for batch
+            runs, a globally unique id for serving-front-end requests.
         prompt: full prompt token ids (BOS already applied).
         max_new_tokens: response-length cap for this request.
         rng: this request's private random stream.
@@ -60,6 +71,10 @@ class SequenceSlot:
         hidden: exact target hidden stack (num_layers, hidden_size) at the
             second-to-last position — the drafter hand-off.
         done: True once EOS was committed.
+        cancelled: True when the request was cancelled (the partial
+            response up to the cancellation boundary is retained).
+        wait_cycles: scheduler cycles the request spent in the waiting
+            queue before admission.
     """
 
     request: SequenceRequest
@@ -67,6 +82,8 @@ class SequenceSlot:
     response: List[int] = field(default_factory=list)
     hidden: Optional[np.ndarray] = None
     done: bool = False
+    cancelled: bool = False
+    wait_cycles: int = 0
 
     @property
     def rng(self) -> np.random.Generator:
@@ -75,8 +92,12 @@ class SequenceSlot:
 
     @property
     def finished(self) -> bool:
-        """Whether this slot should retire (EOS or length cap)."""
-        return self.done or len(self.response) >= self.request.max_new_tokens
+        """Whether this slot should retire (EOS, cancellation, or cap)."""
+        return (
+            self.done
+            or self.cancelled
+            or len(self.response) >= self.request.max_new_tokens
+        )
 
     def commit(self, tokens: List[int], eos_id: int) -> int:
         """Append committed tokens, truncating at EOS and the length cap.
@@ -98,7 +119,7 @@ class SequenceSlot:
 
 @dataclass(frozen=True)
 class BatchCycleReport:
-    """One engine cycle as seen by the adaptive layer.
+    """One engine cycle as seen by the adaptive and serving layers.
 
     Attributes:
         index: cycle number (0-based, admission waves included).
@@ -110,6 +131,9 @@ class BatchCycleReport:
         committed_tokens: tokens committed across the batch.
         drafted_tokens: draft tokens submitted for verification.
         verify_rows: rows in the batched target forward.
+        queue_depth: requests still waiting after this cycle's admission.
+        mean_wait_cycles: mean cycles the requests admitted before this
+            cycle spent waiting (0.0 when nothing was admitted).
     """
 
     index: int
@@ -121,20 +145,23 @@ class BatchCycleReport:
     committed_tokens: int
     drafted_tokens: int
     verify_rows: int
+    queue_depth: int = 0
+    mean_wait_cycles: float = 0.0
 
 
 class ContinuousBatchScheduler:
     """FIFO admission into a bounded pool of live decoding slots.
 
     Args:
-        requests: generation requests in submission order.
+        requests: generation requests in submission order (more can be
+            :meth:`push`-ed later).
         max_batch_size: live-slot capacity (None = unbounded, i.e. every
             request decodes from cycle one; 1 = fully sequential).
     """
 
     def __init__(
         self,
-        requests: List[SequenceRequest],
+        requests: Sequence[SequenceRequest] = (),
         max_batch_size: Optional[int] = None,
     ) -> None:
         if max_batch_size is not None and max_batch_size < 1:
@@ -142,10 +169,14 @@ class ContinuousBatchScheduler:
                 f"max_batch_size must be >= 1, got {max_batch_size}"
             )
         self.max_batch_size = max_batch_size
-        self.waiting: Deque[SequenceRequest] = deque(requests)
+        self.waiting: Deque[SequenceRequest] = deque()
         self.live: List[SequenceSlot] = []
         self._finished: Dict[int, SequenceSlot] = {}
-        self._num_requests = len(requests)
+        self._order: List[int] = []
+        self._enqueued_cycle: Dict[int, int] = {}
+        self._cycle = 0
+        for request in requests:
+            self.push(request)
 
     # -- state -------------------------------------------------------------
 
@@ -160,11 +191,48 @@ class ContinuousBatchScheduler:
         return len(self.waiting)
 
     @property
+    def num_finished(self) -> int:
+        """Requests that retired (EOS, length cap, or cancellation)."""
+        return len(self._finished)
+
+    @property
+    def num_cancelled(self) -> int:
+        """Retired requests that were cancelled."""
+        return sum(1 for slot in self._finished.values() if slot.cancelled)
+
+    @property
     def has_work(self) -> bool:
         """Whether any request is still live or waiting."""
         return bool(self.live) or bool(self.waiting)
 
+    @property
+    def cycle(self) -> int:
+        """The scheduler's cycle counter (advanced by :meth:`tick`)."""
+        return self._cycle
+
     # -- lifecycle ---------------------------------------------------------
+
+    def push(self, request: SequenceRequest, waited: int = 0) -> None:
+        """Append a request to the waiting queue (online admission).
+
+        Args:
+            request: the request to enqueue.
+            waited: cycles the request already waited elsewhere (set by
+                work stealing so admission waits accumulate across the
+                donor and receiver schedulers).
+        """
+        request_id = request.request_id
+        if (
+            request_id in self._enqueued_cycle
+            or request_id in self._finished
+            or any(s.request.request_id == request_id for s in self.live)
+        ):
+            raise SpecDecodeError(
+                f"duplicate request_id {request_id} pushed to scheduler"
+            )
+        self.waiting.append(request)
+        self._order.append(request_id)
+        self._enqueued_cycle[request_id] = self._cycle - int(waited)
 
     def admit(self) -> List[SequenceSlot]:
         """Move waiting requests into free slots (FIFO), returning them."""
@@ -175,11 +243,18 @@ class ContinuousBatchScheduler:
         ):
             request = self.waiting.popleft()
             slot = SequenceSlot(
-                request=request, sequence=list(request.prompt)
+                request=request,
+                sequence=list(request.prompt),
+                wait_cycles=self._cycle
+                - self._enqueued_cycle.pop(request.request_id),
             )
             self.live.append(slot)
             admitted.append(slot)
         return admitted
+
+    def tick(self) -> None:
+        """Advance the cycle counter (called once per engine cycle)."""
+        self._cycle += 1
 
     def retire_finished(self) -> List[SequenceSlot]:
         """Remove finished slots from the live pool, returning them."""
@@ -190,14 +265,77 @@ class ContinuousBatchScheduler:
                 self._finished[slot.request.request_id] = slot
         return retired
 
+    def cancel(self, request_id: int) -> Optional[SequenceSlot]:
+        """Cancel a waiting or live request at the cycle boundary.
+
+        A live slot is removed from the pool immediately (its partial
+        response is retained on the returned slot); a waiting request
+        retires with an empty response.  Because every request owns a
+        private random stream and batched target rows are row-identical,
+        cancelling one request never perturbs any survivor's committed
+        tokens.
+
+        Returns:
+            The cancelled slot, or None when the request is unknown or
+            already finished.
+        """
+        for slot in self.live:
+            if slot.request.request_id == request_id:
+                slot.cancelled = True
+                self.live.remove(slot)
+                self._finished[request_id] = slot
+                return slot
+        for request in self.waiting:
+            if request.request_id == request_id:
+                self.waiting.remove(request)
+                self._enqueued_cycle.pop(request_id, None)
+                slot = SequenceSlot(
+                    request=request,
+                    sequence=list(request.prompt),
+                    cancelled=True,
+                )
+                self._finished[request_id] = slot
+                return slot
+        return None
+
+    def steal_waiting(
+        self, count: int = 1
+    ) -> List[Tuple[SequenceRequest, int]]:
+        """Give up to ``count`` waiting requests to another scheduler.
+
+        Requests are taken from the *back* of the queue (most recently
+        enqueued) so the FIFO order of long-waiting requests is preserved
+        on the donor.  Stolen requests are fully disowned: they disappear
+        from this scheduler's result order and must be ``push``-ed to the
+        stealing worker's scheduler.
+
+        Returns:
+            ``(request, waited)`` pairs — ``waited`` is the cycles the
+            request spent queued here, to be passed to the receiving
+            scheduler's :meth:`push` so admission waits accumulate.
+        """
+        if count < 0:
+            raise SpecDecodeError(f"count must be >= 0, got {count}")
+        stolen: List[Tuple[SequenceRequest, int]] = []
+        while self.waiting and len(stolen) < count:
+            request = self.waiting.pop()
+            self._order.remove(request.request_id)
+            enqueued = self._enqueued_cycle.pop(
+                request.request_id, self._cycle
+            )
+            stolen.append((request, self._cycle - enqueued))
+        stolen.reverse()
+        return stolen
+
     def results(self) -> List[SequenceSlot]:
-        """Finished slots in request order (call when work is drained)."""
+        """Finished slots in submission order (call when work is drained).
+
+        Cancelled requests appear in order with ``cancelled=True`` and
+        whatever partial response they had committed.
+        """
         if self.has_work:
             raise SpecDecodeError(
                 "results() requires a drained scheduler "
                 f"({self.num_live} live, {self.num_waiting} waiting)"
             )
-        return [
-            self._finished[request_id]
-            for request_id in range(self._num_requests)
-        ]
+        return [self._finished[request_id] for request_id in self._order]

@@ -18,7 +18,8 @@ also drive real batched token generation on the TinyLM substrate.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import replace
+from typing import List, Optional
 
 from repro.cluster.simulator import (
     ClusterSpec,
@@ -27,9 +28,12 @@ from repro.cluster.simulator import (
 )
 from repro.drafter.base import Drafter
 from repro.hardware.gpus import ModelSpec
+from repro.llm.model import TinyLM
 from repro.rl.rollout_backends import AdaptiveSpeculativeRollout
 from repro.rollout.acceptance import ParametricAcceptance
 from repro.rollout.adaptive import AdaptiveSdConfig, AdaptiveSdManager
+from repro.serving.dispatch import DispatchPolicy
+from repro.serving.frontend import ServingEngine
 from repro.systems.base import RlSystem, SystemStepReport
 
 #: Calibrated drafter qualities (fractions of the fresh-drafter accept
@@ -75,6 +79,66 @@ class _AdaptiveSdSystem(RlSystem):
             manager=manager,
             child_mode=child_mode,
             max_batch_size=max_batch_size,
+        )
+
+    def serving_frontend(
+        self,
+        target: TinyLM,
+        drafter: Drafter,
+        num_workers: int = 2,
+        max_batch_size: Optional[int] = 8,
+        temperature: float = 0.8,
+        child_mode: str = "sample",
+        use_tree: bool = True,
+        dispatch: Optional[DispatchPolicy] = None,
+        work_stealing: bool = True,
+        share_bandit: bool = True,
+    ) -> ServingEngine:
+        """Online serving front-end mirroring this system's SD policy.
+
+        Builds one :class:`~repro.rollout.adaptive.AdaptiveSdManager`
+        per worker from ``self.sd_config`` — the same elastic threshold
+        and strategy pool the cluster simulator uses — so each worker's
+        SD/vanilla decision is driven by *its own* live-batch size as the
+        dispatcher shapes it.  With ``share_bandit`` the workers feed one
+        BEG-MAB selector, pooling accept-length measurements across the
+        pool (more traffic, faster convergence) while keeping elastic
+        activation state per worker.
+
+        Args:
+            target: the target model served by every worker.
+            drafter: the draft model (spot-trained EAGLE for full TLT,
+                the n-gram retrieval drafter for TLT-Base).
+            num_workers: decode workers in the pool.
+            max_batch_size: per-worker live-slot capacity.
+            temperature: sampling temperature.
+            child_mode: tree child expansion mode (``sample`` = lossless).
+            use_tree: tree-based drafting (default) or linear chains.
+            dispatch: routing policy (round-robin when omitted).
+            work_stealing: rebalance queued requests between cycles.
+            share_bandit: share one strategy selector across workers.
+        """
+        managers: List[AdaptiveSdManager] = []
+        selector = self.sd_config.selector
+        for _ in range(num_workers):
+            manager = AdaptiveSdManager(
+                replace(self.sd_config, selector=selector)
+            )
+            if share_bandit and selector is None:
+                selector = manager.selector
+            managers.append(manager)
+        return ServingEngine(
+            target,
+            drafter,
+            num_workers=num_workers,
+            strategy=None,
+            sd_managers=managers,
+            temperature=temperature,
+            child_mode=child_mode,  # type: ignore[arg-type]
+            use_tree=use_tree,
+            max_batch_size=max_batch_size,
+            dispatch=dispatch,
+            work_stealing=work_stealing,
         )
 
 
