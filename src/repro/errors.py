@@ -37,9 +37,16 @@ class SchedulingError(ReproError):
     """The cluster simulator or worker coordinator hit an invalid transition."""
 
 
-class BufferError_(ReproError):
-    """The online data buffer was misused (named with a trailing underscore
-    to avoid shadowing the ``BufferError`` builtin)."""
+class DataBufferError(ReproError):
+    """The online data buffer was misused."""
+
+
+#: Deprecated alias of :class:`DataBufferError`.  The original name
+#: carried a trailing underscore to avoid shadowing the ``BufferError``
+#: builtin; ``DataBufferError`` needs no such dodge.  Existing
+#: ``except BufferError_`` / ``raise BufferError_`` sites keep working;
+#: new code should use :class:`DataBufferError`.
+BufferError_ = DataBufferError
 
 
 class CheckpointError(ReproError):

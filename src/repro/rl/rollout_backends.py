@@ -126,6 +126,16 @@ class SpeculativeRollout(RolloutBackend):
         self.feed_ngram = feed_ngram
         self.max_batch_size = max_batch_size
 
+    def swap_drafter(self, drafter: Drafter) -> None:
+        """Adopt refreshed drafter weights for subsequent rollouts.
+
+        The RL-side counterpart of the serving pool's rolling hot swap
+        (:meth:`repro.serving.frontend.ServingEngine.swap_drafter`):
+        the spot trainer publishes a snapshot between RL steps and the
+        next `generate` call speculates with it.
+        """
+        self.drafter = drafter
+
     def generate(self, policy, prompts, max_new_tokens, temperature, rng):
         out = speculative_generate(
             policy,
@@ -197,6 +207,17 @@ class AdaptiveSpeculativeRollout(RolloutBackend):
         self.use_tree = use_tree
         self.max_batch_size = max_batch_size
         self.feed_ngram = feed_ngram
+
+    def swap_drafter(self, drafter: Drafter) -> None:
+        """Adopt refreshed drafter weights for subsequent rollouts.
+
+        The spot trainer publishes a snapshot between RL steps
+        (:meth:`repro.spot.trainer.SpotTrainer.snapshot_drafter`); the
+        next ``generate`` call speculates with it while the bandit's
+        accept-length statistics carry over — exactly the
+        non-stationary setting BEG-MAB is built for.
+        """
+        self.drafter = drafter
 
     def generate(self, policy, prompts, max_new_tokens, temperature, rng):
         engine = BatchedSpecDecodeEngine(

@@ -8,6 +8,15 @@ work stealing, and per-request latency/TTFT/SLO-attainment metrics close
 the loop back into the adaptive SD layer — each worker's
 :class:`~repro.rollout.adaptive.AdaptiveSdManager` sees its own live
 batch every cycle.
+
+The layer is rebased on the engine control plane
+(:class:`~repro.specdec.control.EngineControl`): an optional
+:class:`SloPreemption` policy parks live BATCH stragglers
+byte-identically for urgent arrivals,
+:meth:`ServingEngine.swap_drafter` rolls refreshed drafter weights
+across the pool one worker per tick with zero downtime, and every
+lifecycle transition is published on a pool-wide event trail
+(:meth:`ServingEngine.lifecycle_events`).
 """
 
 from repro.serving.clock import VirtualClock
@@ -15,7 +24,9 @@ from repro.serving.dispatch import (
     DispatchPolicy,
     LeastLoadedDispatch,
     LongTailDispatch,
+    PreemptionPolicy,
     RoundRobinDispatch,
+    SloPreemption,
     steal_work,
 )
 from repro.serving.frontend import ServingEngine, ServingWorker
@@ -36,6 +47,8 @@ __all__ = [
     "RoundRobinDispatch",
     "LeastLoadedDispatch",
     "LongTailDispatch",
+    "PreemptionPolicy",
+    "SloPreemption",
     "steal_work",
     "ServingEngine",
     "ServingWorker",

@@ -22,6 +22,17 @@ ROADMAP's work-stealing item.  Stealing preserves determinism for the
 same reason dispatch does: a waiting request's private stream has not
 been consumed yet, so it decodes identically wherever it lands.
 
+:class:`PreemptionPolicy` goes one step further than routing: it acts on
+*live* requests.  When an urgent arrival would otherwise queue behind a
+full worker (and so miss its SLO), :class:`SloPreemption` picks the
+longest-backlog low-urgency victim — canonically a BATCH-class RL
+rollout — to **park**: the victim's slot is stashed whole (tokens,
+hidden hand-off, random stream) through the engine's control plane
+(:class:`~repro.specdec.control.EngineControl`), the urgent request
+takes the freed slot, and the victim resumes byte-identically once
+capacity frees up.  Preemption therefore trades latency *across* SLO
+classes without touching a single committed token.
+
 Policies duck-type their ``workers`` argument against the serving
 front-end's :class:`~repro.serving.frontend.ServingWorker` surface
 (``num_live``, ``num_waiting``, ``free_slots``, ``backlog_tokens``,
@@ -32,7 +43,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.serving.request import ServingRequest
@@ -130,6 +141,100 @@ class LongTailDispatch(DispatchPolicy):
         head, tail = self._groups(len(workers))
         group = tail if request.dispatch_length >= self.threshold else head
         return min(group, key=lambda i: (workers[i].backlog_tokens, i))
+
+
+class PreemptionPolicy(abc.ABC):
+    """Decides which live request (if any) to park for an arrival.
+
+    Consulted by the front-end at dispatch time when the chosen worker
+    has no free slot: the returned victim is parked through the worker's
+    :class:`~repro.specdec.control.EngineControl` surface, freeing a
+    slot the arrival is admitted into at the worker's next cycle.
+    Returning None declines to preempt (the arrival queues normally).
+    """
+
+    #: Label used in reports and benchmark tables.
+    name: str = "preemption"
+
+    @abc.abstractmethod
+    def choose_victim(
+        self,
+        request: ServingRequest,
+        live: Sequence[Tuple[ServingRequest, int]],
+    ) -> Optional[int]:
+        """Pick the live request to park so ``request`` can run.
+
+        Args:
+            request: the arrival that would otherwise queue.
+            live: ``(live_request, remaining_tokens)`` pairs for every
+                sequence decoding on the chosen worker.
+
+        Returns:
+            The victim's request_id, or None to decline.
+        """
+
+
+class SloPreemption(PreemptionPolicy):
+    """Park the longest-backlog low-urgency request for urgent traffic.
+
+    An arrival is *urgent* when its TTFT target is at most
+    ``urgent_ttft`` ticks (the INTERACTIVE class by default) — queuing
+    behind a full worker for even a few cycles would blow that budget.
+    Victims are live requests whose SLO class is in ``victim_classes``
+    (BATCH-style background traffic by default — RL rollouts soaking
+    idle capacity are exactly the requests designed to be paused); among
+    them the one with the **largest remaining token backlog** is parked,
+    because pausing the longest straggler frees a slot for the longest
+    time per preemption.  Ties break to the lowest request id, keeping
+    runs deterministic.
+
+    Args:
+        urgent_ttft: TTFT target (ticks) at or below which an arrival
+            may preempt.
+        victim_classes: SLO class names eligible to be parked.  None
+            means any live request with a *strictly laxer* TTFT target
+            than the arrival is eligible (pure urgency ordering).
+    """
+
+    name = "slo-preemption"
+
+    def __init__(
+        self,
+        urgent_ttft: float = 4.0,
+        victim_classes: Optional[Sequence[str]] = ("batch",),
+    ) -> None:
+        if urgent_ttft <= 0:
+            raise ConfigError(
+                f"urgent_ttft must be positive, got {urgent_ttft}"
+            )
+        self.urgent_ttft = urgent_ttft
+        self.victim_classes = (
+            None if victim_classes is None else frozenset(victim_classes)
+        )
+
+    def choose_victim(
+        self,
+        request: ServingRequest,
+        live: Sequence[Tuple[ServingRequest, int]],
+    ) -> Optional[int]:
+        if request.slo.ttft_target > self.urgent_ttft:
+            return None
+        candidates = [
+            (victim, remaining)
+            for victim, remaining in live
+            if (
+                victim.slo.name in self.victim_classes
+                if self.victim_classes is not None
+                else victim.slo.ttft_target > request.slo.ttft_target
+            )
+        ]
+        if not candidates:
+            return None
+        victim, _ = max(
+            candidates,
+            key=lambda pair: (pair[1], -pair[0].request_id),
+        )
+        return victim.request_id
 
 
 def steal_work(

@@ -9,15 +9,42 @@ requests are work-stolen from backlogged workers, and requests can be
 cancelled mid-decode — explicitly or by SLO deadline — without
 perturbing a single committed token of any survivor.
 
+The front-end is rebased on the engine's control plane
+(:class:`~repro.specdec.control.EngineControl`): every lifecycle
+mutation — admit, cancel, expire, park, resume, drafter swap — goes
+through that surface, and every worker's lifecycle events (stamped with
+cycle and virtual time) are merged into one pool-wide trail
+(:meth:`ServingEngine.lifecycle_events`).  Two capabilities ride on it:
+
+* **SLO-aware preemption** — a
+  :class:`~repro.serving.dispatch.PreemptionPolicy` parks the
+  longest-backlog BATCH request when an INTERACTIVE arrival would
+  otherwise queue behind a full worker; the parked slot is stashed
+  whole (tokens, hidden hand-off, random stream) and resumed
+  byte-identically once capacity frees, so preemption shifts latency
+  between SLO classes without touching a single committed token.
+* **Zero-downtime drafter hot-swap** —
+  :meth:`ServingEngine.swap_drafter` rolls a refreshed drafter across
+  the pool one worker per tick; each worker swaps at a cycle boundary
+  (per-slot draft state is rebuilt from the target hidden hand-off
+  every cycle), so no request is dropped or stalled and at most one
+  worker is mid-swap at any time.  This is how the spot trainer's
+  refreshed EAGLE weights reach a live pool
+  (:meth:`repro.systems.tlt.TltSystem.publish_drafter`).
+
 One :meth:`ServingEngine.tick` is one discrete-event step:
 
-1. arrivals whose time has come are dispatched to workers;
-2. deadline-expired requests are cancelled at the cycle boundary;
-3. queued requests are rebalanced by work stealing (optional);
-4. every worker with work runs exactly one decode cycle — all workers
+1. an in-progress rolling drafter swap advances by one worker;
+2. arrivals whose time has come are dispatched to workers — preempting
+   a live victim when the policy says the arrival must not queue;
+3. deadline-expired requests are retired (EXPIRED) at the cycle
+   boundary;
+4. queued requests are rebalanced by work stealing (optional);
+5. parked requests are resumed on workers with capacity to spare;
+6. every worker with work runs exactly one decode cycle — all workers
    advance in the same tick because real deployments run them on
    separate accelerators in parallel;
-5. the clock advances by one tick.
+7. the clock advances by one tick.
 
 Determinism: requests carry private seeded streams, workers step in a
 fixed order, and every policy breaks ties by id — a fixed trace replays
@@ -34,7 +61,16 @@ vanilla).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.drafter.base import Drafter
 from repro.errors import ConfigError, ServingError
@@ -43,6 +79,7 @@ from repro.rollout.adaptive import AdaptiveSdManager
 from repro.serving.clock import VirtualClock
 from repro.serving.dispatch import (
     DispatchPolicy,
+    PreemptionPolicy,
     RoundRobinDispatch,
     steal_work,
 )
@@ -53,26 +90,53 @@ from repro.specdec.batch_engine import (
     EngineStep,
     make_serving_request,
 )
-from repro.specdec.scheduler import SequenceRequest
+from repro.specdec.control import (
+    EventBus,
+    RequestEvent,
+    RequestEventKind,
+)
+from repro.specdec.scheduler import SequenceRequest, SequenceSlot
 from repro.specdec.strategy import SdStrategy
 from repro.specdec.tree import ChildMode
+
+#: Terminal serving states — nothing left to do for these requests.
+_RESOLVED_STATES = frozenset(
+    {
+        RequestState.FINISHED,
+        RequestState.CANCELLED,
+        RequestState.EXPIRED,
+    }
+)
 
 
 class ServingWorker:
     """One decode worker: an incremental engine plus dispatch metadata.
 
+    The worker talks to its engine exclusively through the control
+    plane (:class:`~repro.specdec.control.EngineControl`) plus the
+    incremental ``step()``, so any engine satisfying the protocol can
+    sit here.
+
     Args:
-        worker_id: stable index of this worker in the pool.
+        worker_id: stable index of this worker in the pool (stamped
+            onto the engine's lifecycle events).
         engine: the batched engine this worker drives cycle-at-a-time
             (an incremental session is opened immediately).
+        time_fn: virtual-time source wired into the engine's event
+            stream (the pool's clock).
     """
 
     def __init__(
-        self, worker_id: int, engine: BatchedSpecDecodeEngine
+        self,
+        worker_id: int,
+        engine: BatchedSpecDecodeEngine,
+        time_fn: Optional[Callable[[], float]] = None,
     ) -> None:
         self.worker_id = worker_id
         self.engine = engine
         engine.start(())
+        engine.events.worker_id = worker_id
+        engine.time_fn = time_fn
         self.busy_cycles = 0
         self._predicted: Dict[int, int] = {}
 
@@ -94,34 +158,60 @@ class ServingWorker:
         return self.engine.has_work
 
     @property
+    def num_parked(self) -> int:
+        """Requests suspended mid-decode on this worker."""
+        return self.engine.num_parked
+
+    @property
+    def num_resuming(self) -> int:
+        """Parked requests queued for re-admission on this worker."""
+        return self.engine.num_resuming
+
+    @property
+    def parked_ids(self) -> List[int]:
+        """Parked request ids in park order."""
+        return self.engine.scheduler.parked_ids
+
+    @property
     def capacity(self) -> Optional[int]:
         """Live-slot capacity (None = unbounded)."""
         return self.engine.max_batch_size
 
     @property
     def free_slots(self) -> int:
-        """Live slots an admitted request could take right now."""
-        if self.capacity is None:
-            return max(0, 1_000_000 - self.num_live)
-        return max(0, self.capacity - self.num_live)
+        """Live slots a NEWLY queued request could take next cycle.
+
+        Resume-queued slots are subtracted: they re-enter the live pool
+        ahead of the waiting FIFO at the next admission wave, so a slot
+        they will take is not free to anyone else.  Dispatch, work
+        stealing, and the preemption trigger all read this.
+        """
+        limit = 1_000_000 if self.capacity is None else self.capacity
+        return max(0, limit - self.num_live - self.num_resuming)
 
     @property
     def backlog_tokens(self) -> int:
         """Predicted outstanding decode work in tokens.
 
-        Live slots contribute their remaining cap (the true upper bound
-        on what is left); queued requests contribute the dispatcher's
-        predicted length.
+        Live, parked, and resume-queued slots contribute their
+        remaining cap (the true upper bound on what is left — parked
+        and resuming requests WILL come back); queued requests
+        contribute the dispatcher's predicted length.
         """
+        scheduler = self.engine.scheduler
         remaining = sum(
             slot.request.max_new_tokens - len(slot.response)
-            for slot in self.engine.scheduler.live
+            for slot in (
+                scheduler.live
+                + list(scheduler.parked.values())
+                + scheduler.resuming_slots
+            )
         )
         queued = sum(
             self._predicted.get(
                 request.request_id, request.max_new_tokens
             )
-            for request in self.engine.scheduler.waiting
+            for request in scheduler.waiting
         )
         return remaining + queued
 
@@ -154,10 +244,30 @@ class ServingWorker:
             for request, waited in stolen
         ]
 
-    def cancel(self, request_id: int):
-        """Cancel a queued or live request at the cycle boundary."""
+    def cancel(self, request_id: int) -> Optional[SequenceSlot]:
+        """Cancel a queued, parked, or live request at the boundary."""
         self._predicted.pop(request_id, None)
         return self.engine.cancel(request_id)
+
+    def expire(self, request_id: int) -> Optional[SequenceSlot]:
+        """Retire a request as deadline-expired at the boundary."""
+        self._predicted.pop(request_id, None)
+        return self.engine.expire(request_id)
+
+    def park(
+        self, request_id: int, preempted: bool = False
+    ) -> SequenceSlot:
+        """Suspend a live request (slot stashed for byte-identical
+        resume)."""
+        return self.engine.park(request_id, preempted=preempted)
+
+    def resume(self, request_id: int) -> None:
+        """Queue a parked request for re-admission."""
+        self.engine.resume(request_id)
+
+    def swap_drafter(self, drafter: Drafter) -> None:
+        """Swap this worker's drafter at its next cycle boundary."""
+        self.engine.swap_drafter(drafter)
 
     def step(self) -> Optional[EngineStep]:
         """Run one decode cycle; returns None when the worker is idle."""
@@ -190,6 +300,9 @@ class ServingEngine:
             finite capacity is what makes queueing — and dispatch —
             matter).
         dispatch: routing policy for arrivals (round-robin when omitted).
+        preemption: optional policy parking live low-urgency requests
+            when an urgent arrival would otherwise queue (None = never
+            preempt — PR 2 behaviour).
         work_stealing: rebalance queued requests between cycles.
         add_bos: prepend BOS to request prompts.
     """
@@ -206,6 +319,7 @@ class ServingEngine:
         use_tree: bool = True,
         max_batch_size: Optional[int] = None,
         dispatch: Optional[DispatchPolicy] = None,
+        preemption: Optional[PreemptionPolicy] = None,
         work_stealing: bool = True,
         add_bos: bool = True,
     ) -> None:
@@ -220,10 +334,18 @@ class ServingEngine:
             )
         self.clock = VirtualClock()
         self.dispatch = dispatch or RoundRobinDispatch()
+        self.preemption = preemption
         self.work_stealing = work_stealing
         self.add_bos = add_bos
         self.managers = list(sd_managers) if sd_managers else []
         self.workers: List[ServingWorker] = []
+        self._events: List[RequestEvent] = []
+        #: Front-end-level bus for transitions that happen before a
+        #: request reaches any worker (PENDING cancel/expiry) — keeps
+        #: the pool-wide trail complete: every submitted request ends
+        #: in exactly one terminal event.
+        self.events = EventBus()
+        self.events.subscribe(self._events.append)
         for worker_id in range(num_workers):
             engine = BatchedSpecDecodeEngine(
                 target,
@@ -237,11 +359,18 @@ class ServingEngine:
                     self.managers[worker_id] if self.managers else None
                 ),
             )
-            self.workers.append(ServingWorker(worker_id, engine))
+            worker = ServingWorker(
+                worker_id, engine, time_fn=lambda: self.clock.now
+            )
+            engine.events.subscribe(self._events.append)
+            self.workers.append(worker)
         self.records: Dict[int, RequestRecord] = {}
         self._arrivals: List[Tuple[float, int]] = []  # heap
         self._deadlines: List[Tuple[float, int]] = []  # heap
         self.stolen = 0
+        self._swap_drafter: Optional[Drafter] = None
+        self._swap_queue: Deque[int] = deque()
+        self.drafter_swaps = 0
 
     # -- request API -------------------------------------------------------
 
@@ -267,35 +396,131 @@ class ServingEngine:
     def cancel(self, request_id: int) -> bool:
         """Cancel a request wherever it is in its lifecycle.
 
-        Pending requests are dropped before dispatch; queued and live
-        requests are cancelled at the worker's next cycle boundary
-        (partial responses are retained on the record).  Survivors'
-        committed tokens are untouched.
+        Pending requests — still in the arrival trace, not yet
+        dispatched — are removed from the pending-arrival queue
+        immediately; queued, parked, and live requests are cancelled at
+        the worker's next cycle boundary (partial responses are
+        retained on the record).  Survivors' committed tokens are
+        untouched.
 
         Returns:
             True when the request existed and was still cancellable.
         """
         record = self.records.get(request_id)
-        if record is None or record.state in (
-            RequestState.FINISHED,
-            RequestState.CANCELLED,
-        ):
+        if record is None or record.state in _RESOLVED_STATES:
             return False
-        if record.state is not RequestState.PENDING:
+        if record.state is RequestState.PENDING:
+            self._drop_arrival(request_id)
+            self.events.emit(
+                RequestEventKind.CANCELLED, request_id, 0,
+                self.clock.now,
+            )
+        else:
             assert record.worker_id is not None
             slot = self.workers[record.worker_id].cancel(request_id)
             if slot is not None:
                 record.response = list(slot.response)
-        # PENDING requests are lazily skipped when their arrival pops.
         record.state = RequestState.CANCELLED
         record.finish_time = self.clock.now
         return True
+
+    def park(self, request_id: int) -> bool:
+        """Suspend a RUNNING request mid-decode (explicit preemption).
+
+        The live slot is stashed whole — committed tokens, hidden
+        hand-off, random stream — so a later :meth:`resume` continues
+        its decode byte-identically to an uninterrupted run.
+
+        Returns:
+            True when the request was running and is now parked.
+        """
+        record = self.records.get(request_id)
+        if record is None or record.state is not RequestState.RUNNING:
+            return False
+        assert record.worker_id is not None
+        self._park(
+            self.workers[record.worker_id], request_id, preempted=False
+        )
+        return True
+
+    def resume(self, request_id: int) -> bool:
+        """Queue a PARKED request for re-admission on its worker.
+
+        The request goes back to RUNNING when its worker re-admits the
+        slot (ahead of the waiting FIFO, capacity permitting).  Note the
+        front-end also resumes parked requests automatically whenever a
+        worker has capacity to spare — explicit resume is for callers
+        that want a request back *now*.
+
+        Returns:
+            True when the request was parked and is now resume-queued.
+        """
+        record = self.records.get(request_id)
+        if record is None or record.state is not RequestState.PARKED:
+            return False
+        assert record.worker_id is not None
+        worker = self.workers[record.worker_id]
+        if request_id in worker.parked_ids:
+            worker.resume(request_id)
+        # else: already resume-queued (e.g. by the automatic resume
+        # pass) — the request IS coming back, which is what True means.
+        return True
+
+    def swap_drafter(self, drafter: Drafter) -> None:
+        """Roll a new drafter across the pool, one worker per tick.
+
+        Zero-downtime deployment of refreshed drafter weights: each
+        worker swaps at its own cycle boundary on a distinct tick, so
+        at most one worker is transitioning at any time and no request
+        anywhere in the pool is dropped or stalled.  Calling again
+        while a roll is in progress restarts the roll with the newest
+        drafter (latest publication wins).
+        """
+        # Fail fast at the call site: deferring validation to the per-
+        # tick roll would raise out of a later tick()/run(), stranding
+        # live requests mid-trace.
+        if not isinstance(drafter, Drafter):
+            raise ServingError(
+                f"swap_drafter() needs a Drafter, got {type(drafter)!r}"
+            )
+        if not drafter.supports_hot_swap:
+            raise ServingError(
+                f"drafter {drafter.name!r} does not support hot swap"
+            )
+        self._swap_drafter = drafter
+        self._swap_queue = deque(range(len(self.workers)))
+
+    @property
+    def swap_in_progress(self) -> bool:
+        """Whether a rolling drafter swap has workers left to visit."""
+        return bool(self._swap_queue)
+
+    def subscribe(
+        self, callback: Callable[[RequestEvent], None]
+    ) -> None:
+        """Observe every lifecycle event as it is emitted.
+
+        Covers all worker engines plus the front-end's own bus (which
+        carries terminations of requests that never reached a worker).
+        """
+        self.events.subscribe(callback)
+        for worker in self.workers:
+            worker.engine.events.subscribe(callback)
+
+    def lifecycle_events(self) -> List[RequestEvent]:
+        """Pool-wide lifecycle event trail (emission order).
+
+        Events carry their worker id, engine cycle, and virtual-time
+        stamp; emission order is deterministic under a fixed seed.
+        """
+        return list(self._events)
 
     # -- event loop --------------------------------------------------------
 
     def tick(self) -> None:
         """Run one discrete-event step (see module docstring)."""
         now = self.clock.now
+        self._roll_swap()
         self._dispatch_arrivals(now)
         self._expire_deadlines(now)
         if self.work_stealing and len(self.workers) > 1:
@@ -305,6 +530,7 @@ class ServingEngine:
                 record.worker_id = receiver
                 record.stolen += 1
             self.stolen += len(moves)
+        self._resume_parked()
         completion = now + 1.0  # cycles complete at the end of the tick
         for worker in self.workers:
             outcome = worker.step()
@@ -314,6 +540,9 @@ class ServingEngine:
                 record = self.records[slot.request.request_id]
                 record.state = RequestState.RUNNING
                 record.admit_time = now
+            for slot in outcome.resumed:
+                record = self.records[slot.request.request_id]
+                record.state = RequestState.RUNNING
             for slot in worker.engine.scheduler.live + outcome.retired:
                 record = self.records[slot.request.request_id]
                 if (
@@ -345,7 +574,9 @@ class ServingEngine:
         for request in requests:
             self.submit(request)
         ticks = 0
-        while self._unresolved() and ticks < max_ticks:
+        while (
+            self._unresolved() or self.swap_in_progress
+        ) and ticks < max_ticks:
             self.tick()
             ticks += 1
         if self._unresolved():
@@ -373,18 +604,42 @@ class ServingEngine:
     # -- internals ---------------------------------------------------------
 
     def _unresolved(self) -> bool:
-        """Whether any request is pending, queued, or running."""
+        """Whether any request is pending, queued, running, or parked."""
         if any(w.has_work for w in self.workers):
             return True
         return any(
-            r.state
-            in (
-                RequestState.PENDING,
-                RequestState.QUEUED,
-                RequestState.RUNNING,
-            )
+            r.state not in _RESOLVED_STATES
             for r in self.records.values()
         )
+
+    def _roll_swap(self) -> None:
+        """Advance an in-progress rolling drafter swap by one worker."""
+        if not self._swap_queue:
+            return
+        assert self._swap_drafter is not None
+        worker_id = self._swap_queue.popleft()
+        self.workers[worker_id].swap_drafter(self._swap_drafter)
+        if not self._swap_queue:
+            self.drafter_swaps += 1
+            self._swap_drafter = None
+
+    def _resume_parked(self) -> None:
+        """Resume parked requests on workers with capacity to spare.
+
+        A worker resumes its oldest-parked request while it can seat
+        every queued request AND every resume in flight — resumed slots
+        re-enter ahead of the waiting FIFO at the next cycle, so
+        resuming into contended capacity would starve queued urgent
+        traffic (the opposite of what preemption bought).
+        """
+        for worker in self.workers:
+            # free_slots already nets out resume-queued slots, so each
+            # resume shrinks it and the loop converges.
+            while worker.num_parked and (
+                worker.free_slots > worker.num_waiting
+            ):
+                request_id = worker.parked_ids[0]
+                worker.resume(request_id)
 
     def _dispatch_arrivals(self, now: float) -> None:
         """Route every request whose arrival time has come."""
@@ -414,19 +669,87 @@ class ServingEngine:
             record.state = RequestState.QUEUED
             record.worker_id = worker.worker_id
             record.dispatch_time = now
+            self._maybe_preempt(request, worker)
+
+    def _maybe_preempt(
+        self, request: ServingRequest, worker: ServingWorker
+    ) -> None:
+        """Park a live victim when ``request`` would otherwise queue.
+
+        Consulted right after dispatch.  Admission is FIFO, so the
+        freed slot would go to the oldest queued request, not
+        necessarily to ``request`` itself — the policy is therefore
+        evaluated against that actual *beneficiary*: a queue of urgent
+        requests keeps earning preemptions (each park seats the next
+        urgent head), while a BATCH request queued ahead of the urgent
+        arrival declines the park (it would cost the victim latency
+        for zero urgent-traffic benefit).  One victim per arrival —
+        preemption relieves head-of-line blocking, it does not drain
+        whole batches.
+        """
+        if self.preemption is None:
+            return
+        # free_slots already nets out resume-queued slots, so it IS the
+        # capacity available to the waiting FIFO next cycle.
+        effective = worker.free_slots
+        if effective >= worker.num_waiting:
+            return  # request will be seated next cycle anyway
+        waiting = list(worker.engine.scheduler.waiting)
+        beneficiary = self.records[
+            waiting[effective].request_id
+        ].request
+        live = [
+            (
+                self.records[slot.request.request_id].request,
+                slot.request.max_new_tokens - len(slot.response),
+            )
+            for slot in worker.engine.scheduler.live
+        ]
+        victim_id = self.preemption.choose_victim(beneficiary, live)
+        if victim_id is None:
+            return
+        self._park(worker, victim_id, preempted=True)
+
+    def _park(
+        self, worker: ServingWorker, request_id: int, preempted: bool
+    ) -> None:
+        """Single park path for both policy preemption and explicit
+        :meth:`park` — the record bookkeeping stays in one place."""
+        worker.park(request_id, preempted=preempted)
+        record = self.records[request_id]
+        record.state = RequestState.PARKED
+        record.preemptions += 1
+
+    def _drop_arrival(self, request_id: int) -> None:
+        """Remove a not-yet-dispatched request from the arrival queue."""
+        self._arrivals = [
+            entry for entry in self._arrivals if entry[1] != request_id
+        ]
+        heapq.heapify(self._arrivals)
 
     def _expire_deadlines(self, now: float) -> None:
-        """Cancel unfinished requests whose SLO deadline has passed.
+        """Expire unfinished requests whose SLO deadline has passed.
 
         Deadlines live in a heap keyed by expiry time, so each tick pays
         O(expired) rather than a scan of every record ever submitted.
+        Expiry is cancellation's SLO sibling: same mechanics, recorded
+        as EXPIRED so reports separate missed deadlines from operator
+        cancels.
         """
         while self._deadlines and self._deadlines[0][0] <= now:
             _, request_id = heapq.heappop(self._deadlines)
             record = self.records[request_id]
-            if record.state in (
-                RequestState.FINISHED,
-                RequestState.CANCELLED,
-            ):
+            if record.state in _RESOLVED_STATES:
                 continue
-            self.cancel(request_id)
+            if record.state is RequestState.PENDING:
+                self._drop_arrival(request_id)
+                self.events.emit(
+                    RequestEventKind.EXPIRED, request_id, 0, now
+                )
+            else:
+                assert record.worker_id is not None
+                slot = self.workers[record.worker_id].expire(request_id)
+                if slot is not None:
+                    record.response = list(slot.response)
+            record.state = RequestState.EXPIRED
+            record.finish_time = now

@@ -40,6 +40,8 @@ class RequestRecord:
             cancellation).
         response: committed response tokens (partial when cancelled).
         stolen: times the request was moved by work stealing.
+        preemptions: times the request was parked mid-decode (by the
+            preemption policy or an explicit ``park``).
     """
 
     request: ServingRequest
@@ -51,6 +53,7 @@ class RequestRecord:
     finish_time: Optional[float] = None
     response: List[int] = field(default_factory=list)
     stolen: int = 0
+    preemptions: int = 0
 
     # -- derived -----------------------------------------------------------
 
@@ -62,7 +65,15 @@ class RequestRecord:
     @property
     def cancelled(self) -> bool:
         """Whether the request was cancelled (explicitly or by deadline)."""
-        return self.state is RequestState.CANCELLED
+        return self.state in (
+            RequestState.CANCELLED,
+            RequestState.EXPIRED,
+        )
+
+    @property
+    def expired(self) -> bool:
+        """Whether the request was retired by deadline expiry."""
+        return self.state is RequestState.EXPIRED
 
     @property
     def latency(self) -> Optional[float]:
@@ -143,8 +154,18 @@ class ServingReport:
 
     @property
     def cancelled_records(self) -> List[RequestRecord]:
-        """Requests that were cancelled."""
+        """Requests that were cancelled (deadline expiries included)."""
         return [r for r in self.records if r.cancelled]
+
+    @property
+    def expired_records(self) -> List[RequestRecord]:
+        """Requests retired by deadline expiry."""
+        return [r for r in self.records if r.expired]
+
+    @property
+    def preemptions(self) -> int:
+        """Park events across all requests (policy + explicit)."""
+        return sum(r.preemptions for r in self.records)
 
     @property
     def latencies(self) -> List[float]:
@@ -243,4 +264,6 @@ class ServingReport:
             "throughput": self.throughput,
             "ticks": float(self.ticks),
             "stolen": float(self.stolen),
+            "expired": float(len(self.expired_records)),
+            "preempted": float(self.preemptions),
         }

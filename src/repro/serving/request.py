@@ -68,13 +68,22 @@ BATCH = SloClass("batch", ttft_target=32.0, latency_target=384.0)
 
 
 class RequestState(enum.Enum):
-    """Lifecycle of an online request."""
+    """Lifecycle of an online request.
+
+    The serving-level mirror of the scheduler's
+    :class:`~repro.specdec.scheduler.RequestLifecycle`: PENDING/QUEUED
+    split the scheduler's WAITING into before/after dispatch, PARKED
+    tracks a preempted live slot awaiting resume, and EXPIRED separates
+    deadline misses from operator cancels.
+    """
 
     PENDING = "pending"      # submitted, arrival time not reached
     QUEUED = "queued"        # dispatched to a worker, waiting for a slot
     RUNNING = "running"      # decoding in a live slot
+    PARKED = "parked"        # preempted mid-decode, slot stashed
     FINISHED = "finished"    # EOS or length cap
-    CANCELLED = "cancelled"  # explicit cancel or deadline expiry
+    CANCELLED = "cancelled"  # explicit cancel
+    EXPIRED = "expired"      # SLO deadline passed
 
 
 @dataclass

@@ -19,6 +19,12 @@ from repro.specdec.batch_engine import (
     EngineStep,
     make_serving_request,
 )
+from repro.specdec.control import (
+    EngineControl,
+    EventBus,
+    RequestEvent,
+    RequestEventKind,
+)
 from repro.specdec.engine import (
     SpeculativeGenerationOutput,
     speculative_generate,
@@ -37,6 +43,7 @@ from repro.specdec.metrics import (
 from repro.specdec.scheduler import (
     BatchCycleReport,
     ContinuousBatchScheduler,
+    RequestLifecycle,
     SequenceRequest,
     SequenceSlot,
 )
@@ -73,8 +80,13 @@ __all__ = [
     "make_serving_request",
     "BatchCycleReport",
     "ContinuousBatchScheduler",
+    "RequestLifecycle",
     "SequenceRequest",
     "SequenceSlot",
+    "EngineControl",
+    "EventBus",
+    "RequestEvent",
+    "RequestEventKind",
     "SdCycleStats",
     "SdRunMetrics",
     "AcceptanceProfile",

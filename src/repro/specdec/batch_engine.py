@@ -12,12 +12,26 @@ per-sequence cycles — the long-tail regime the paper analyzes.
 
 The engine is **incrementally drivable**: :meth:`BatchedSpecDecodeEngine.
 start` opens a decoding session, :meth:`~BatchedSpecDecodeEngine.step`
-runs exactly one admission + draft/verify + retirement cycle, and
-:meth:`~BatchedSpecDecodeEngine.admit` / :meth:`~BatchedSpecDecodeEngine.
-cancel` mutate the request set between cycles.  The serving front-end
-(:mod:`repro.serving`) drives one engine per worker cycle-at-a-time this
-way; :meth:`~BatchedSpecDecodeEngine.generate` is the closed-loop batch
-wrapper (start, step until drained, collect).
+runs exactly one admission + draft/verify + retirement cycle, and the
+request set is mutated between cycles through the
+:class:`~repro.specdec.control.EngineControl` surface the engine
+implements — :meth:`~BatchedSpecDecodeEngine.admit` /
+:meth:`~BatchedSpecDecodeEngine.cancel` /
+:meth:`~BatchedSpecDecodeEngine.expire` /
+:meth:`~BatchedSpecDecodeEngine.park` /
+:meth:`~BatchedSpecDecodeEngine.resume` /
+:meth:`~BatchedSpecDecodeEngine.swap_drafter`, with every lifecycle
+transition published on :attr:`~BatchedSpecDecodeEngine.events`.  The
+serving front-end (:mod:`repro.serving`) drives one engine per worker
+cycle-at-a-time this way; :meth:`~BatchedSpecDecodeEngine.generate` is
+the closed-loop batch wrapper (start, step until drained, collect).
+
+Parking stashes a live slot whole (tokens, hidden hand-off, random
+stream), so a resumed sequence's remaining tokens are byte-identical to
+an uninterrupted run; :meth:`~BatchedSpecDecodeEngine.swap_drafter`
+replaces the drafter between cycles with zero downtime — per-slot draft
+state is rebuilt from the target hidden hand-off at the start of every
+cycle, so no live request is dropped or stalled by a swap.
 
 Two properties are load-bearing:
 
@@ -44,8 +58,8 @@ Two properties are load-bearing:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -54,6 +68,7 @@ from repro.errors import SpecDecodeError
 from repro.llm.model import TinyLM, contexts_from_sequences
 from repro.llm.sampler import sample_from_probs, temperature_probs
 from repro.llm.vocab import BOS_ID, EOS_ID
+from repro.specdec.control import EventBus, RequestEventKind
 from repro.specdec.engine import initial_hiddens
 from repro.specdec.linear import linear_decode_steps
 from repro.specdec.metrics import SdCycleStats, SdRunMetrics
@@ -115,11 +130,13 @@ class EngineStep:
             BatchCycleReport` (also appended to the session trail).
         admitted: slots admitted from the waiting queue this cycle.
         retired: slots that finished (EOS or length cap) this cycle.
+        resumed: parked slots re-admitted into live slots this cycle.
     """
 
     report: BatchCycleReport
     admitted: List[SequenceSlot]
     retired: List[SequenceSlot]
+    resumed: List[SequenceSlot] = field(default_factory=list)
 
 
 class BatchedSpecDecodeEngine:
@@ -162,6 +179,13 @@ class BatchedSpecDecodeEngine:
         self.use_tree = use_tree
         self.max_batch_size = max_batch_size
         self.sd_manager = sd_manager
+        #: Lifecycle event stream (the EngineControl contact surface).
+        self.events = EventBus()
+        #: Optional virtual-time source stamped onto events (wired by
+        #: the serving worker to its pool's VirtualClock).
+        self.time_fn: Optional[Callable[[], float]] = None
+        self.drafter_swaps = 0
+        self._in_step = False
         self._scheduler: Optional[ContinuousBatchScheduler] = None
         self._metrics = SdRunMetrics()
         self._target_steps = 0
@@ -184,6 +208,7 @@ class BatchedSpecDecodeEngine:
         self._metrics = SdRunMetrics()
         self._target_steps = 0
         self._reports = []
+        self.events.clear()
 
     @property
     def scheduler(self) -> ContinuousBatchScheduler:
@@ -210,6 +235,18 @@ class BatchedSpecDecodeEngine:
         return 0 if self._scheduler is None else self._scheduler.num_waiting
 
     @property
+    def num_parked(self) -> int:
+        """Parked requests in the open session (0 before start)."""
+        return 0 if self._scheduler is None else self._scheduler.num_parked
+
+    @property
+    def num_resuming(self) -> int:
+        """Resume-queued requests in the open session (0 before start)."""
+        return (
+            0 if self._scheduler is None else self._scheduler.num_resuming
+        )
+
+    @property
     def target_steps(self) -> int:
         """Batched target forward launches spent so far this session."""
         return self._target_steps
@@ -224,27 +261,129 @@ class BatchedSpecDecodeEngine:
         """The open session's per-cycle trail (shared list)."""
         return self._reports
 
+    def _emit(
+        self, kind: RequestEventKind, request_id: Optional[int]
+    ) -> None:
+        """Publish a lifecycle event stamped with cycle + virtual time."""
+        cycle = (
+            self._scheduler.cycle if self._scheduler is not None else 0
+        )
+        time = self.time_fn() if self.time_fn is not None else None
+        self.events.emit(kind, request_id, cycle, time)
+
     def admit(self, request: SequenceRequest) -> None:
         """Enqueue a request into the open session's waiting queue."""
         self.scheduler.push(request)
 
     def cancel(self, request_id: int) -> Optional[SequenceSlot]:
-        """Cancel a waiting or live request at the cycle boundary.
+        """Cancel a waiting, parked, or live request at the cycle boundary.
 
         Survivors are unaffected token-for-token (private per-request
         random streams + row-identical batched forwards).  Returns the
         cancelled slot (partial response retained) or None when the
         request is unknown or already finished.
         """
-        return self.scheduler.cancel(request_id)
+        slot = self.scheduler.cancel(request_id)
+        if slot is not None:
+            self._emit(RequestEventKind.CANCELLED, request_id)
+        return slot
+
+    def expire(self, request_id: int) -> Optional[SequenceSlot]:
+        """Retire a request as deadline-expired (cancel's SLO sibling)."""
+        slot = self.scheduler.expire(request_id)
+        if slot is not None:
+            self._emit(RequestEventKind.EXPIRED, request_id)
+        return slot
+
+    def park(
+        self, request_id: int, preempted: bool = False
+    ) -> SequenceSlot:
+        """Suspend a live request at the cycle boundary.
+
+        The slot is stashed whole (committed tokens, target hidden
+        hand-off, private random stream); a later :meth:`resume`
+        continues its decode byte-identically to an uninterrupted run.
+
+        Args:
+            request_id: the LIVE request to park (raises otherwise).
+            preempted: emit a PREEMPTED event instead of PARKED (set by
+                scheduling policies so the trail distinguishes policy
+                preemption from an operator's explicit park).
+        """
+        slot = self.scheduler.park(request_id)
+        self._emit(
+            RequestEventKind.PREEMPTED
+            if preempted
+            else RequestEventKind.PARKED,
+            request_id,
+        )
+        return slot
+
+    def resume(self, request_id: int) -> None:
+        """Queue a parked request for re-admission.
+
+        The slot re-enters the live pool ahead of the waiting FIFO at
+        the next :meth:`step`, capacity permitting; the RESUMED event is
+        emitted when it actually goes live.
+        """
+        self.scheduler.resume(request_id)
+
+    def swap_drafter(self, drafter: Drafter) -> None:
+        """Replace the drafter at a cycle boundary (zero downtime).
+
+        Legal only between :meth:`step` calls: per-slot draft state is
+        rebuilt from each sequence's target hidden hand-off at the start
+        of every cycle (:meth:`~repro.drafter.base.Drafter.begin`), so
+        no live request carries drafter-internal state across the swap —
+        every sequence simply continues under the new drafter, and no
+        request is dropped or stalled.  Committed tokens remain samples
+        from the target distribution (speculative decoding is lossless);
+        the realized tokens after the swap may differ because acceptance
+        consumes each request's stream against different proposals.
+        """
+        if self._in_step:
+            raise SpecDecodeError(
+                "swap_drafter() is only legal at cycle boundaries, "
+                "not mid-step"
+            )
+        if not isinstance(drafter, Drafter):
+            raise SpecDecodeError(
+                f"swap_drafter() needs a Drafter, got {type(drafter)!r}"
+            )
+        if not drafter.supports_hot_swap:
+            raise SpecDecodeError(
+                f"drafter {drafter.name!r} does not support hot swap"
+            )
+        self.drafter = drafter
+        self.drafter_swaps += 1
+        self._emit(RequestEventKind.SWAPPED, None)
 
     def step(self) -> EngineStep:
         """Run exactly one admission + decode + retirement cycle."""
         scheduler = self.scheduler
         if not scheduler.has_work:
             raise SpecDecodeError("step() called with no live or waiting work")
+        self._in_step = True
+        try:
+            return self._step(scheduler)
+        finally:
+            self._in_step = False
+
+    def _step(self, scheduler: ContinuousBatchScheduler) -> EngineStep:
+        resumed = scheduler.readmit_parked()
         admitted = scheduler.admit()
+        # Fresh admissions need the drafter hand-off computed; resumed
+        # slots carry their stashed hidden state and must NOT be
+        # re-prefilled (that is what keeps them byte-identical).
         self._target_steps += self._prefill(admitted)
+        for slot in resumed:
+            self._emit(
+                RequestEventKind.RESUMED, slot.request.request_id
+            )
+        for slot in admitted:
+            self._emit(
+                RequestEventKind.ADMITTED, slot.request.request_id
+            )
         live = list(scheduler.live)
         batch = len(live)
         strategy = self.strategy
@@ -287,6 +426,10 @@ class BatchedSpecDecodeEngine:
             drafted = 0
             verify_rows = batch
         retired = scheduler.retire_finished()
+        for slot in retired:
+            self._emit(
+                RequestEventKind.FINISHED, slot.request.request_id
+            )
         wait_cycles = [slot.wait_cycles for slot in admitted]
         for wait in wait_cycles:
             self._metrics.record_wait(wait)
@@ -305,10 +448,16 @@ class BatchedSpecDecodeEngine:
             mean_wait_cycles=(
                 sum(wait_cycles) / len(wait_cycles) if wait_cycles else 0.0
             ),
+            resumed=len(resumed),
         )
         self._reports.append(report)
         scheduler.tick()
-        return EngineStep(report=report, admitted=admitted, retired=retired)
+        return EngineStep(
+            report=report,
+            admitted=admitted,
+            retired=retired,
+            resumed=resumed,
+        )
 
     def result(self) -> BatchedGenerationResult:
         """Collect the drained session's output (request order preserved)."""

@@ -1,0 +1,190 @@
+"""The engine control plane: lifecycle protocol + event stream.
+
+The batched engine's original surface (``start``/``admit``/``cancel``/
+``step``) was wide enough for the serving front-end's first iteration but
+too narrow for the paper's mid-rollout dynamics: an adaptively refreshed
+drafter must be deployed *without* stalling decode, and SLO-aware
+scheduling must be able to *pause* a long-tail request rather than kill
+it.  This module defines the shared control surface both the batch
+engine and the serving layer speak:
+
+* :class:`EngineControl` — a structural protocol over the request
+  lifecycle: ``admit`` / ``cancel`` / ``expire`` / ``park`` / ``resume``
+  / ``swap_drafter`` plus a subscribable :class:`EventBus`.
+  :class:`~repro.specdec.batch_engine.BatchedSpecDecodeEngine`
+  implements it; :class:`~repro.serving.frontend.ServingWorker` and
+  :class:`~repro.serving.frontend.ServingEngine` are rebased on it, so
+  any engine satisfying the protocol can sit under the serving layer.
+* :class:`RequestEvent` / :class:`RequestEventKind` — the lifecycle
+  event stream.  Every transition (admitted, parked, resumed,
+  preempted, swapped, finished, cancelled, expired) is emitted with the
+  engine cycle it happened at and, when the engine is driven by the
+  serving layer, the virtual-time stamp — the observability surface the
+  preemption benchmarks and the closed-loop RL <-> serving work build
+  on.
+
+Park/resume semantics (the new lifecycle edge): parking stashes the live
+slot whole — its committed tokens, its exact target hidden hand-off and
+its private random stream — so a resumed sequence consumes randomness
+and hidden state exactly where it left off.  The remaining tokens of a
+parked-and-resumed request are therefore byte-identical to an
+uninterrupted run, which is what makes preemption *free* correctness-
+wise: it trades latency across requests without touching any output.
+
+Hot-swap semantics: per-slot draft state is rebuilt from the target
+hidden hand-off at the start of every cycle (``Drafter.begin``), so a
+drafter carried no cross-cycle state the engine needs to migrate —
+swapping between ``step()`` calls is cycle-boundary safe by
+construction, and every live request simply continues under the new
+drafter.  Committed-token *distribution* is unchanged (speculative
+decoding is lossless w.r.t. the target); the realized tokens may differ
+after the swap because acceptance consumes each request's stream against
+different proposals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, runtime_checkable
+
+from repro.drafter.base import Drafter
+from repro.specdec.scheduler import SequenceRequest, SequenceSlot
+
+
+class RequestEventKind(enum.Enum):
+    """What happened to a request (or, for SWAPPED, to the engine)."""
+
+    ADMITTED = "admitted"    # waiting -> live (first time)
+    PARKED = "parked"        # live -> parked (caller-initiated)
+    PREEMPTED = "preempted"  # live -> parked (policy-initiated)
+    RESUMED = "resumed"      # parked -> live (re-admitted)
+    SWAPPED = "swapped"      # engine drafter replaced (request_id None)
+    FINISHED = "finished"    # EOS or length cap
+    CANCELLED = "cancelled"  # explicit cancellation
+    EXPIRED = "expired"      # SLO deadline passed
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """One lifecycle transition on the control plane.
+
+    Attributes:
+        kind: the transition.
+        request_id: the affected request (None for engine-wide events
+            such as a drafter swap).
+        cycle: the engine cycle counter when the event fired.
+        time: virtual-clock stamp (None when the engine runs outside a
+            serving front-end — batch RL rollouts have no clock).
+        worker_id: serving worker that emitted the event (None outside
+            a worker pool).
+    """
+
+    kind: RequestEventKind
+    request_id: Optional[int]
+    cycle: int
+    time: Optional[float] = None
+    worker_id: Optional[int] = None
+
+
+class EventBus:
+    """Ordered, subscribable stream of :class:`RequestEvent`.
+
+    Emission order is the engine's execution order, which is
+    deterministic under a fixed seed — the event trail is therefore as
+    reproducible as the committed tokens.  Subscribers are invoked
+    synchronously at emit time (the serving front-end subscribes one
+    callback per worker to build its pool-wide merged trail).
+
+    Attributes:
+        worker_id: stamped onto every emitted event (set by the serving
+            worker that owns the engine; None for standalone engines).
+    """
+
+    def __init__(self, worker_id: Optional[int] = None) -> None:
+        self.worker_id = worker_id
+        self._events: List[RequestEvent] = []
+        self._subscribers: List[Callable[[RequestEvent], None]] = []
+
+    def subscribe(
+        self, callback: Callable[[RequestEvent], None]
+    ) -> None:
+        """Register a callback invoked synchronously on every emit."""
+        self._subscribers.append(callback)
+
+    def emit(
+        self,
+        kind: RequestEventKind,
+        request_id: Optional[int],
+        cycle: int,
+        time: Optional[float] = None,
+    ) -> RequestEvent:
+        """Record an event and fan it out to subscribers."""
+        event = RequestEvent(
+            kind=kind,
+            request_id=request_id,
+            cycle=cycle,
+            time=time,
+            worker_id=self.worker_id,
+        )
+        self._events.append(event)
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    @property
+    def events(self) -> List[RequestEvent]:
+        """Snapshot of every event emitted so far (emission order)."""
+        return list(self._events)
+
+    def of_kind(self, kind: RequestEventKind) -> List[RequestEvent]:
+        """Events of one kind, in emission order."""
+        return [e for e in self._events if e.kind is kind]
+
+    def clear(self) -> None:
+        """Drop recorded events (subscribers stay registered)."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+@runtime_checkable
+class EngineControl(Protocol):
+    """Structural protocol of a controllable decoding engine.
+
+    The serving layer drives engines exclusively through this surface
+    (plus the incremental ``step()``), so any engine implementing it —
+    today :class:`~repro.specdec.batch_engine.BatchedSpecDecodeEngine`,
+    tomorrow a prefix-cache-aware or pooled RL+serving engine — slots
+    under :class:`~repro.serving.frontend.ServingWorker` unchanged.
+    """
+
+    #: Lifecycle event stream (see module docstring).
+    events: EventBus
+
+    def admit(self, request: SequenceRequest) -> None:
+        """Enqueue a request into the waiting queue."""
+        ...
+
+    def cancel(self, request_id: int) -> Optional[SequenceSlot]:
+        """Cancel a waiting, parked, or live request; None if unknown."""
+        ...
+
+    def expire(self, request_id: int) -> Optional[SequenceSlot]:
+        """Retire a request as deadline-expired; None if unknown."""
+        ...
+
+    def park(
+        self, request_id: int, preempted: bool = False
+    ) -> SequenceSlot:
+        """Suspend a live request, stashing its slot for later resume."""
+        ...
+
+    def resume(self, request_id: int) -> None:
+        """Queue a parked request for re-admission into a live slot."""
+        ...
+
+    def swap_drafter(self, drafter: Drafter) -> None:
+        """Replace the drafter at a cycle boundary (zero downtime)."""
+        ...

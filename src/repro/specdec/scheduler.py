@@ -15,6 +15,24 @@ while still waiting), and waiting requests can be
 :meth:`~ContinuousBatchScheduler.steal_waiting`-ed by another worker's
 scheduler for load balancing.
 
+Every request walks an explicit state machine
+(:class:`RequestLifecycle`)::
+
+    WAITING ──admit──▶ LIVE ──park──▶ PARKED
+                        ▲               │
+                        └────resume─────┘
+    {WAITING, LIVE, PARKED} ──▶ FINISHED | CANCELLED | EXPIRED
+
+Illegal transitions raise — :meth:`~ContinuousBatchScheduler.park` of a
+waiting request, :meth:`~ContinuousBatchScheduler.resume` of a live one,
+anything out of a terminal state.  Parking stashes the live slot whole
+(committed tokens, target hidden hand-off, private random stream), so a
+resumed sequence's remaining tokens are byte-identical to an
+uninterrupted run; resumed slots re-enter ahead of the waiting FIFO at
+the next admission wave, capacity permitting.  EXPIRED is the
+deadline-driven sibling of CANCELLED: same mechanics, kept distinct so
+SLO accounting can tell an operator's cancel from a missed deadline.
+
 Each request carries its *own* random generator stream (derived from the
 caller's master generator).  That is what makes the committed tokens
 independent of scheduling: a sequence draws the same randomness whether it
@@ -32,6 +50,7 @@ that the serving layer's dispatch policies act on.
 
 from __future__ import annotations
 
+import enum
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
@@ -40,6 +59,47 @@ import numpy as np
 
 from repro.errors import SpecDecodeError
 from repro.specdec.strategy import SdStrategy
+
+
+class RequestLifecycle(enum.Enum):
+    """Scheduler-level lifecycle state of one request."""
+
+    WAITING = "waiting"      # queued, not yet admitted to a live slot
+    LIVE = "live"            # decoding in a live slot
+    PARKED = "parked"        # suspended mid-decode, slot stashed
+    FINISHED = "finished"    # EOS or length cap
+    CANCELLED = "cancelled"  # explicit cancellation
+    EXPIRED = "expired"      # deadline expiry
+
+
+#: Legal lifecycle transitions; anything else raises SpecDecodeError.
+_TRANSITIONS: Dict[RequestLifecycle, frozenset] = {
+    RequestLifecycle.WAITING: frozenset(
+        {
+            RequestLifecycle.LIVE,
+            RequestLifecycle.CANCELLED,
+            RequestLifecycle.EXPIRED,
+        }
+    ),
+    RequestLifecycle.LIVE: frozenset(
+        {
+            RequestLifecycle.PARKED,
+            RequestLifecycle.FINISHED,
+            RequestLifecycle.CANCELLED,
+            RequestLifecycle.EXPIRED,
+        }
+    ),
+    RequestLifecycle.PARKED: frozenset(
+        {
+            RequestLifecycle.LIVE,
+            RequestLifecycle.CANCELLED,
+            RequestLifecycle.EXPIRED,
+        }
+    ),
+    RequestLifecycle.FINISHED: frozenset(),
+    RequestLifecycle.CANCELLED: frozenset(),
+    RequestLifecycle.EXPIRED: frozenset(),
+}
 
 
 @dataclass
@@ -73,8 +133,13 @@ class SequenceSlot:
         done: True once EOS was committed.
         cancelled: True when the request was cancelled (the partial
             response up to the cancellation boundary is retained).
+        expired: True when the request was retired by deadline expiry
+            (mechanically a cancellation; kept distinct for SLO
+            accounting).
         wait_cycles: scheduler cycles the request spent in the waiting
             queue before admission.
+        parked_cycles: scheduler cycles the request spent parked
+            (accumulated across park/resume rounds).
     """
 
     request: SequenceRequest
@@ -83,7 +148,9 @@ class SequenceSlot:
     hidden: Optional[np.ndarray] = None
     done: bool = False
     cancelled: bool = False
+    expired: bool = False
     wait_cycles: int = 0
+    parked_cycles: int = 0
 
     @property
     def rng(self) -> np.random.Generator:
@@ -92,10 +159,12 @@ class SequenceSlot:
 
     @property
     def finished(self) -> bool:
-        """Whether this slot should retire (EOS, cancellation, or cap)."""
+        """Whether this slot should retire (EOS, cancellation, expiry,
+        or cap)."""
         return (
             self.done
             or self.cancelled
+            or self.expired
             or len(self.response) >= self.request.max_new_tokens
         )
 
@@ -125,6 +194,7 @@ class BatchCycleReport:
         index: cycle number (0-based, admission waves included).
         live_batch: sequences decoding in this cycle.
         admitted: requests admitted from the waiting queue before it.
+        resumed: parked requests re-admitted into live slots before it.
         retired: sequences that finished during it.
         sd_active: whether this cycle ran speculative decoding.
         strategy: the SD strategy used (None for vanilla cycles).
@@ -147,6 +217,7 @@ class BatchCycleReport:
     verify_rows: int
     queue_depth: int = 0
     mean_wait_cycles: float = 0.0
+    resumed: int = 0
 
 
 class ContinuousBatchScheduler:
@@ -171,9 +242,13 @@ class ContinuousBatchScheduler:
         self.max_batch_size = max_batch_size
         self.waiting: Deque[SequenceRequest] = deque()
         self.live: List[SequenceSlot] = []
+        self.parked: Dict[int, SequenceSlot] = {}  # insertion = park order
+        self._resuming: Deque[SequenceSlot] = deque()
+        self._parked_at: Dict[int, int] = {}
         self._finished: Dict[int, SequenceSlot] = {}
         self._order: List[int] = []
         self._enqueued_cycle: Dict[int, int] = {}
+        self._lifecycle: Dict[int, RequestLifecycle] = {}
         self._cycle = 0
         for request in requests:
             self.push(request)
@@ -191,6 +266,16 @@ class ContinuousBatchScheduler:
         return len(self.waiting)
 
     @property
+    def num_parked(self) -> int:
+        """Requests suspended mid-decode (resume queue excluded)."""
+        return len(self.parked)
+
+    @property
+    def num_resuming(self) -> int:
+        """Parked requests queued for re-admission."""
+        return len(self._resuming)
+
+    @property
     def num_finished(self) -> int:
         """Requests that retired (EOS, length cap, or cancellation)."""
         return len(self._finished)
@@ -201,14 +286,61 @@ class ContinuousBatchScheduler:
         return sum(1 for slot in self._finished.values() if slot.cancelled)
 
     @property
+    def num_expired(self) -> int:
+        """Retired requests that hit their deadline."""
+        return sum(1 for slot in self._finished.values() if slot.expired)
+
+    @property
+    def parked_ids(self) -> List[int]:
+        """Parked request ids in park order (resume queue excluded)."""
+        return list(self.parked)
+
+    @property
+    def resuming_slots(self) -> List[SequenceSlot]:
+        """Slots queued for re-admission, in resume order.
+
+        These occupy neither the live pool nor the parked stash, but
+        they WILL take live slots ahead of the waiting FIFO at the next
+        admission wave — load accounting must count them.
+        """
+        return list(self._resuming)
+
+    @property
     def has_work(self) -> bool:
-        """Whether any request is still live or waiting."""
-        return bool(self.live) or bool(self.waiting)
+        """Whether any request is live, waiting, or queued to resume.
+
+        Parked requests are deliberately NOT work: the engine cannot
+        progress them until someone resumes (or cancels) them.
+        """
+        return (
+            bool(self.live) or bool(self.waiting) or bool(self._resuming)
+        )
 
     @property
     def cycle(self) -> int:
         """The scheduler's cycle counter (advanced by :meth:`tick`)."""
         return self._cycle
+
+    def state(self, request_id: int) -> RequestLifecycle:
+        """The request's lifecycle state (raises for unknown ids)."""
+        try:
+            return self._lifecycle[request_id]
+        except KeyError:
+            raise SpecDecodeError(
+                f"unknown request_id {request_id}"
+            ) from None
+
+    def _transition(
+        self, request_id: int, to: RequestLifecycle
+    ) -> None:
+        """Apply a lifecycle transition, rejecting illegal edges."""
+        current = self.state(request_id)
+        if to not in _TRANSITIONS[current]:
+            raise SpecDecodeError(
+                f"illegal lifecycle transition {current.value} -> "
+                f"{to.value} for request {request_id}"
+            )
+        self._lifecycle[request_id] = to
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -222,25 +354,47 @@ class ContinuousBatchScheduler:
                 donor and receiver schedulers).
         """
         request_id = request.request_id
-        if (
-            request_id in self._enqueued_cycle
-            or request_id in self._finished
-            or any(s.request.request_id == request_id for s in self.live)
-        ):
+        if request_id in self._lifecycle:
             raise SpecDecodeError(
                 f"duplicate request_id {request_id} pushed to scheduler"
             )
         self.waiting.append(request)
         self._order.append(request_id)
         self._enqueued_cycle[request_id] = self._cycle - int(waited)
+        self._lifecycle[request_id] = RequestLifecycle.WAITING
+
+    def _capacity_free(self) -> bool:
+        return (
+            self.max_batch_size is None
+            or len(self.live) < self.max_batch_size
+        )
+
+    def readmit_parked(self) -> List[SequenceSlot]:
+        """Re-admit resumed slots into the live pool, returning them.
+
+        Resumed slots take priority over the waiting FIFO (they already
+        hold committed tokens and a warm hidden hand-off; making them
+        wait behind fresh admissions would stall mid-flight sequences
+        behind prefill work), but still respect the slot capacity.
+        Called by the engine at the top of every cycle, before
+        :meth:`admit`.
+        """
+        readmitted: List[SequenceSlot] = []
+        while self._resuming and self._capacity_free():
+            slot = self._resuming.popleft()
+            request_id = slot.request.request_id
+            slot.parked_cycles += self._cycle - self._parked_at.pop(
+                request_id
+            )
+            self._transition(request_id, RequestLifecycle.LIVE)
+            self.live.append(slot)
+            readmitted.append(slot)
+        return readmitted
 
     def admit(self) -> List[SequenceSlot]:
         """Move waiting requests into free slots (FIFO), returning them."""
         admitted: List[SequenceSlot] = []
-        while self.waiting and (
-            self.max_batch_size is None
-            or len(self.live) < self.max_batch_size
-        ):
+        while self.waiting and self._capacity_free():
             request = self.waiting.popleft()
             slot = SequenceSlot(
                 request=request,
@@ -248,9 +402,62 @@ class ContinuousBatchScheduler:
                 wait_cycles=self._cycle
                 - self._enqueued_cycle.pop(request.request_id),
             )
+            self._transition(
+                request.request_id, RequestLifecycle.LIVE
+            )
             self.live.append(slot)
             admitted.append(slot)
         return admitted
+
+    def park(self, request_id: int) -> SequenceSlot:
+        """Suspend a live request at the cycle boundary.
+
+        The slot is stashed whole — committed tokens, the exact target
+        hidden hand-off, and the request's private random stream — so a
+        later :meth:`resume` continues decoding byte-identically to an
+        uninterrupted run.  Only LIVE requests can be parked; anything
+        else raises (the state machine is explicit on purpose).
+
+        Returns:
+            The parked slot (still owned by this scheduler).
+        """
+        for slot in self.live:
+            if slot.request.request_id == request_id:
+                self._transition(request_id, RequestLifecycle.PARKED)
+                self.live.remove(slot)
+                self.parked[request_id] = slot
+                self._parked_at[request_id] = self._cycle
+                return slot
+        # Not live: raise with the actual state for a useful message.
+        state = self.state(request_id)
+        raise SpecDecodeError(
+            f"park() requires a LIVE request; {request_id} is "
+            f"{state.value}"
+        )
+
+    def resume(self, request_id: int) -> None:
+        """Queue a parked request for re-admission.
+
+        The slot re-enters the live pool through :meth:`readmit_parked`
+        at the next admission wave (ahead of the waiting FIFO), capacity
+        permitting.  Resuming a request that is not parked raises.
+        """
+        slot = self.parked.pop(request_id, None)
+        if slot is None:
+            state = self.state(request_id)
+            detail = (
+                "already resuming"
+                if any(
+                    s.request.request_id == request_id
+                    for s in self._resuming
+                )
+                else state.value
+            )
+            raise SpecDecodeError(
+                f"resume() requires a PARKED request; {request_id} is "
+                f"{detail}"
+            )
+        self._resuming.append(slot)
 
     def tick(self) -> None:
         """Advance the cycle counter (called once per engine cycle)."""
@@ -262,40 +469,83 @@ class ContinuousBatchScheduler:
         if retired:
             self.live = [s for s in self.live if not s.finished]
             for slot in retired:
+                self._transition(
+                    slot.request.request_id, RequestLifecycle.FINISHED
+                )
                 self._finished[slot.request.request_id] = slot
         return retired
 
     def cancel(self, request_id: int) -> Optional[SequenceSlot]:
-        """Cancel a waiting or live request at the cycle boundary.
+        """Cancel a waiting, live, or parked request at the cycle boundary.
 
         A live slot is removed from the pool immediately (its partial
-        response is retained on the returned slot); a waiting request
-        retires with an empty response.  Because every request owns a
-        private random stream and batched target rows are row-identical,
-        cancelling one request never perturbs any survivor's committed
-        tokens.
+        response is retained on the returned slot); a parked or resuming
+        slot retires with whatever it had committed before parking; a
+        waiting request retires with an empty response.  Because every
+        request owns a private random stream and batched target rows are
+        row-identical, cancelling one request never perturbs any
+        survivor's committed tokens.
 
         Returns:
             The cancelled slot, or None when the request is unknown or
             already finished.
         """
+        return self._terminate(request_id, expired=False)
+
+    def expire(self, request_id: int) -> Optional[SequenceSlot]:
+        """Retire a request as deadline-expired (cancel's SLO sibling).
+
+        Identical mechanics to :meth:`cancel`; the retired slot is
+        flagged ``expired`` and the lifecycle lands on EXPIRED, so SLO
+        accounting can distinguish a missed deadline from an operator
+        cancel.
+        """
+        return self._terminate(request_id, expired=True)
+
+    def _terminate(
+        self, request_id: int, expired: bool
+    ) -> Optional[SequenceSlot]:
+        target = (
+            RequestLifecycle.EXPIRED if expired
+            else RequestLifecycle.CANCELLED
+        )
+
+        def _flag(slot: SequenceSlot) -> SequenceSlot:
+            if expired:
+                slot.expired = True
+            else:
+                slot.cancelled = True
+            self._transition(request_id, target)
+            self._finished[request_id] = slot
+            return slot
+
         for slot in self.live:
             if slot.request.request_id == request_id:
-                slot.cancelled = True
                 self.live.remove(slot)
-                self._finished[request_id] = slot
-                return slot
+                return _flag(slot)
+        parked = self.parked.pop(request_id, None)
+        if parked is not None:
+            parked.parked_cycles += self._cycle - self._parked_at.pop(
+                request_id
+            )
+            return _flag(parked)
+        for slot in self._resuming:
+            if slot.request.request_id == request_id:
+                self._resuming.remove(slot)
+                slot.parked_cycles += (
+                    self._cycle - self._parked_at.pop(request_id)
+                )
+                return _flag(slot)
         for request in self.waiting:
             if request.request_id == request_id:
                 self.waiting.remove(request)
                 self._enqueued_cycle.pop(request_id, None)
-                slot = SequenceSlot(
-                    request=request,
-                    sequence=list(request.prompt),
-                    cancelled=True,
+                return _flag(
+                    SequenceSlot(
+                        request=request,
+                        sequence=list(request.prompt),
+                    )
                 )
-                self._finished[request_id] = slot
-                return slot
         return None
 
     def steal_waiting(
@@ -320,6 +570,7 @@ class ContinuousBatchScheduler:
         while self.waiting and len(stolen) < count:
             request = self.waiting.pop()
             self._order.remove(request.request_id)
+            self._lifecycle.pop(request.request_id, None)
             enqueued = self._enqueued_cycle.pop(
                 request.request_id, self._cycle
             )
@@ -330,12 +581,20 @@ class ContinuousBatchScheduler:
     def results(self) -> List[SequenceSlot]:
         """Finished slots in submission order (call when work is drained).
 
-        Cancelled requests appear in order with ``cancelled=True`` and
-        whatever partial response they had committed.
+        Cancelled and expired requests appear in order with their flag
+        set and whatever partial response they had committed.  A parked
+        request is neither work nor a result — the caller must resume or
+        cancel it first, so a forgotten parked request fails loudly here
+        instead of silently vanishing from the output.
         """
         if self.has_work:
             raise SpecDecodeError(
                 "results() requires a drained scheduler "
                 f"({self.num_live} live, {self.num_waiting} waiting)"
+            )
+        if self.parked:
+            raise SpecDecodeError(
+                "results() with requests still parked "
+                f"({sorted(self.parked)}); resume or cancel them first"
             )
         return [self._finished[request_id] for request_id in self._order]

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.drafter.training import TrainingSequence
-from repro.errors import BufferError_
+from repro.errors import DataBufferError
 
 
 @dataclass(frozen=True)
@@ -54,9 +54,9 @@ class OnlineDataBuffer:
         self, capacity_tokens: int = 1_000_000, long_fraction: float = 0.5
     ) -> None:
         if capacity_tokens < 1:
-            raise BufferError_("capacity_tokens must be >= 1")
+            raise DataBufferError("capacity_tokens must be >= 1")
         if not 0.0 <= long_fraction <= 1.0:
-            raise BufferError_("long_fraction must be in [0, 1]")
+            raise DataBufferError("long_fraction must be in [0, 1]")
         self.capacity_tokens = capacity_tokens
         self.long_fraction = long_fraction
         self._by_step: "OrderedDict[int, List[TrainingSequence]]" = (
@@ -74,7 +74,7 @@ class OnlineDataBuffer:
         eviction reclaims them.
         """
         if step < self._current_step:
-            raise BufferError_(
+            raise DataBufferError(
                 f"steps must be non-decreasing: {step} < "
                 f"{self._current_step}"
             )
@@ -109,14 +109,14 @@ class OnlineDataBuffer:
         the other.
 
         Raises:
-            BufferError_: when the buffer is empty.
+            DataBufferError: when the buffer is empty.
         """
         if count < 1:
-            raise BufferError_("count must be >= 1")
+            raise DataBufferError("count must be >= 1")
         current = list(self._by_step.get(self._current_step, []))
         previous = self._previous_step_sequences()
         if not current and not previous:
-            raise BufferError_("buffer is empty")
+            raise DataBufferError("buffer is empty")
 
         want_long = int(round(count * self.long_fraction))
         long_pool = sorted(previous, key=lambda s: -s.length)
@@ -134,7 +134,7 @@ class OnlineDataBuffer:
             long_pick = long_pick + extra
         picked = long_pick + current_pick
         if not picked:
-            raise BufferError_("buffer is empty")
+            raise DataBufferError("buffer is empty")
         return picked
 
     # -- introspection -----------------------------------------------------

@@ -21,7 +21,7 @@ from repro.drafter.training import (
     TrainingSequence,
     build_training_batch,
 )
-from repro.errors import BufferError_, DrafterError
+from repro.errors import DataBufferError, DrafterError
 from repro.spot.checkpoint import CheckpointManager
 from repro.spot.databuffer import OnlineDataBuffer
 
@@ -110,7 +110,7 @@ class SpotTrainer:
             sequences = self.buffer.sample_sequences(
                 self.batch_sequences, rng
             )
-        except BufferError_:
+        except DataBufferError:
             return SpotTrainingReport(
                 updates=0, positions=0, ce_loss=float("nan"),
                 checkpoint_foreground_s=0.0,
@@ -165,6 +165,24 @@ class SpotTrainer:
         if self.checkpoints is None:
             return 0.0
         return self._checkpoint()
+
+    def snapshot_drafter(self):
+        """Freeze the current drafter weights for publication.
+
+        Returns a deep copy of the drafter being trained, suitable for
+        handing to a live engine pool
+        (:meth:`repro.serving.frontend.ServingEngine.swap_drafter` /
+        :meth:`repro.systems.tlt.TltSystem.publish_drafter`): training
+        continues mutating the original while the snapshot serves.
+        """
+        drafter = self.trainer.drafter
+        clone = getattr(drafter, "clone", None)
+        if clone is None:
+            raise DrafterError(
+                f"drafter {type(drafter).__name__} has no clone(); "
+                "cannot snapshot for publication"
+            )
+        return clone()
 
     @property
     def total_updates(self) -> int:

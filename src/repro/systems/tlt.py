@@ -19,7 +19,7 @@ also drive real batched token generation on the TinyLM substrate.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.cluster.simulator import (
     ClusterSpec,
@@ -27,6 +27,9 @@ from repro.cluster.simulator import (
     StepWorkload,
 )
 from repro.drafter.base import Drafter
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.spot.trainer import SpotTrainer
 from repro.hardware.gpus import ModelSpec
 from repro.llm.model import TinyLM
 from repro.rl.rollout_backends import AdaptiveSpeculativeRollout
@@ -140,6 +143,29 @@ class _AdaptiveSdSystem(RlSystem):
             dispatch=dispatch,
             work_stealing=work_stealing,
         )
+
+    def publish_drafter(
+        self,
+        frontend: ServingEngine,
+        spot_trainer: "SpotTrainer",
+    ) -> Drafter:
+        """Deploy the spot trainer's refreshed weights with zero downtime.
+
+        This is the paper's adaptive-drafter loop closed over a *live*
+        pool: the spot trainer has been improving the EAGLE drafter
+        inside long-tail bubbles; publishing snapshots its current
+        weights (training keeps mutating the original) and rolls the
+        snapshot across the front-end's workers one per tick via the
+        engine control plane — each worker swaps at a cycle boundary,
+        so no in-flight request anywhere is dropped or stalled.
+
+        Returns:
+            The published snapshot (the drafter instance now rolling
+            across the pool).
+        """
+        refreshed = spot_trainer.snapshot_drafter()
+        frontend.swap_drafter(refreshed)
+        return refreshed
 
 
 class TltBaseSystem(_AdaptiveSdSystem):

@@ -6,8 +6,22 @@ import numpy as np
 import pytest
 
 from repro.drafter.training import TrainingSequence
-from repro.errors import BufferError_
+from repro.errors import BufferError_  # deprecated alias, kept working
 from repro.spot import OnlineDataBuffer
+
+
+class TestErrorRename:
+    def test_deprecated_alias_is_the_renamed_class(self):
+        """``BufferError_`` stays importable and IS ``DataBufferError``:
+        old ``except``/``raise`` sites keep working unchanged."""
+        from repro.errors import DataBufferError, ReproError
+
+        assert BufferError_ is DataBufferError
+        assert issubclass(DataBufferError, ReproError)
+        with pytest.raises(BufferError_):
+            raise DataBufferError("raised as new, caught as old")
+        with pytest.raises(DataBufferError):
+            OnlineDataBuffer(capacity_tokens=0)
 
 
 def make_seq(length: int, step: int = 0) -> TrainingSequence:
