@@ -38,8 +38,10 @@ from repro.drafter import (
 from repro.llm import TinyLM, TinyLMConfig, Vocabulary, generate
 from repro.rl import (
     AdaptiveSpeculativeRollout,
+    ColocatedLoop,
     RlConfig,
     RlTrainer,
+    ServingRolloutBackend,
     SpeculativeRollout,
     VanillaRollout,
 )
@@ -79,6 +81,8 @@ __all__ = [
     "VanillaRollout",
     "SpeculativeRollout",
     "AdaptiveSpeculativeRollout",
+    "ServingRolloutBackend",
+    "ColocatedLoop",
     "ServingEngine",
     "ServingRequest",
     "SloClass",

@@ -11,6 +11,8 @@ policy-gradient updates:
   DAPO advantage estimators;
 * :mod:`repro.rl.rollout_backends` — vanilla vs speculative rollout (the
   seam where TLT plugs in losslessly);
+* :mod:`repro.rl.serving_backend` — rollouts as BATCH-class traffic on
+  the shared online serving pool (the closed serving ↔ RL loop);
 * :mod:`repro.rl.trainer` — the end-to-end RL training loop.
 """
 
@@ -25,10 +27,17 @@ from repro.rl.algorithms import (
 from repro.rl.kl import kl_estimate, kl_grad_coef
 from repro.rl.rollout_backends import (
     AdaptiveSpeculativeRollout,
+    DraftedRolloutBackend,
     RolloutBackend,
     RolloutResult,
     SpeculativeRollout,
     VanillaRollout,
+    result_from_slots,
+)
+from repro.rl.serving_backend import (
+    ColocatedLoop,
+    ServingRolloutBackend,
+    group_tags,
 )
 from repro.rl.trainer import RlConfig, RlStepReport, RlTrainer
 
@@ -46,6 +55,11 @@ __all__ = [
     "VanillaRollout",
     "SpeculativeRollout",
     "AdaptiveSpeculativeRollout",
+    "DraftedRolloutBackend",
+    "result_from_slots",
+    "ServingRolloutBackend",
+    "ColocatedLoop",
+    "group_tags",
     "RlConfig",
     "RlStepReport",
     "RlTrainer",

@@ -80,6 +80,51 @@ class RolloutBackend(abc.ABC):
         """Generate one batch of responses."""
 
 
+class DraftedRolloutBackend(RolloutBackend):
+    """Shared surface of backends that speculate with a drafter.
+
+    Every speculative backend — per-batch engines here and the serving-
+    pool backend (:class:`~repro.rl.serving_backend.
+    ServingRolloutBackend`) — carries a drafter whose weights the spot
+    trainer refreshes between RL steps; :meth:`swap_drafter` is the
+    common hand-off point for those refreshed weights.
+    """
+
+    drafter: Drafter
+
+    def swap_drafter(self, drafter: Drafter) -> None:
+        """Adopt refreshed drafter weights for subsequent rollouts.
+
+        The RL-side counterpart of the serving pool's rolling hot swap
+        (:meth:`repro.serving.frontend.ServingEngine.swap_drafter`):
+        the spot trainer publishes a snapshot between RL steps
+        (:meth:`repro.spot.trainer.SpotTrainer.snapshot_drafter`) and
+        the next ``generate`` call speculates with it.
+        """
+        self.drafter = drafter
+
+
+def result_from_slots(
+    slots: Sequence,  # Sequence[SequenceSlot]
+    target_steps: int,
+    stats: Dict[str, float],
+) -> RolloutResult:
+    """Assemble a :class:`RolloutResult` from finished engine slots.
+
+    Shared by every backend that drains a continuous-batching engine
+    (directly, or through the serving pool's per-request records): the
+    slots arrive in request order, so prompts/responses line up with
+    the caller's prompt list.
+    """
+    return RolloutResult(
+        prompts=[slot.request.prompt for slot in slots],
+        responses=[slot.response for slot in slots],
+        finished=[slot.done for slot in slots],
+        target_steps=target_steps,
+        stats=stats,
+    )
+
+
 class VanillaRollout(RolloutBackend):
     """Plain autoregressive decoding (the VeRL-style baseline)."""
 
@@ -98,7 +143,7 @@ class VanillaRollout(RolloutBackend):
         )
 
 
-class SpeculativeRollout(RolloutBackend):
+class SpeculativeRollout(DraftedRolloutBackend):
     """Speculative decoding rollout with a (possibly adapting) drafter.
 
     Args:
@@ -125,16 +170,6 @@ class SpeculativeRollout(RolloutBackend):
         self.child_mode = child_mode
         self.feed_ngram = feed_ngram
         self.max_batch_size = max_batch_size
-
-    def swap_drafter(self, drafter: Drafter) -> None:
-        """Adopt refreshed drafter weights for subsequent rollouts.
-
-        The RL-side counterpart of the serving pool's rolling hot swap
-        (:meth:`repro.serving.frontend.ServingEngine.swap_drafter`):
-        the spot trainer publishes a snapshot between RL steps and the
-        next `generate` call speculates with it.
-        """
-        self.drafter = drafter
 
     def generate(self, policy, prompts, max_new_tokens, temperature, rng):
         out = speculative_generate(
@@ -164,7 +199,7 @@ class SpeculativeRollout(RolloutBackend):
         )
 
 
-class AdaptiveSpeculativeRollout(RolloutBackend):
+class AdaptiveSpeculativeRollout(DraftedRolloutBackend):
     """Continuous-batching rollout with elastic adaptive SD (full TLT).
 
     The engine reports its live-batch size to the manager every cycle:
@@ -208,17 +243,6 @@ class AdaptiveSpeculativeRollout(RolloutBackend):
         self.max_batch_size = max_batch_size
         self.feed_ngram = feed_ngram
 
-    def swap_drafter(self, drafter: Drafter) -> None:
-        """Adopt refreshed drafter weights for subsequent rollouts.
-
-        The spot trainer publishes a snapshot between RL steps
-        (:meth:`repro.spot.trainer.SpotTrainer.snapshot_drafter`); the
-        next ``generate`` call speculates with it while the bandit's
-        accept-length statistics carry over — exactly the
-        non-stationary setting BEG-MAB is built for.
-        """
-        self.drafter = drafter
-
     def generate(self, policy, prompts, max_new_tokens, temperature, rng):
         engine = BatchedSpecDecodeEngine(
             policy,
@@ -236,10 +260,8 @@ class AdaptiveSpeculativeRollout(RolloutBackend):
         if self.feed_ngram and not self.drafter.trainable:
             self.drafter.observe_rollouts(responses)
         metrics = result.metrics
-        return RolloutResult(
-            prompts=[slot.request.prompt for slot in result.slots],
-            responses=responses,
-            finished=[slot.done for slot in result.slots],
+        return result_from_slots(
+            result.slots,
             target_steps=result.target_steps,
             stats={
                 "accept_length": metrics.mean_accept_length,

@@ -156,6 +156,18 @@ class PreemptionPolicy(abc.ABC):
     #: Label used in reports and benchmark tables.
     name: str = "preemption"
 
+    def is_urgent(self, request: ServingRequest) -> bool:
+        """Whether ``request`` belongs in the urgent admission lane.
+
+        Urgent arrivals are queued ahead of non-urgent backlog on their
+        worker (FIFO among themselves), which is what makes the
+        preemption trigger reachable when a BATCH floor — RL rollouts
+        soaking idle capacity — has filled the waiting queue: the park
+        must benefit the urgent request, not the backlog's FIFO head.
+        The base policy marks nothing urgent (pure FIFO admission).
+        """
+        return False
+
     @abc.abstractmethod
     def choose_victim(
         self,
@@ -211,6 +223,10 @@ class SloPreemption(PreemptionPolicy):
         self.victim_classes = (
             None if victim_classes is None else frozenset(victim_classes)
         )
+
+    def is_urgent(self, request: ServingRequest) -> bool:
+        """Arrivals with a TTFT target at most ``urgent_ttft`` ticks."""
+        return request.slo.ttft_target <= self.urgent_ttft
 
     def choose_victim(
         self,

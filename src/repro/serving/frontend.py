@@ -84,7 +84,11 @@ from repro.serving.dispatch import (
     steal_work,
 )
 from repro.serving.metrics import RequestRecord, ServingReport
-from repro.serving.request import RequestState, ServingRequest
+from repro.serving.request import (
+    RESOLVED_STATES,
+    RequestState,
+    ServingRequest,
+)
 from repro.specdec.batch_engine import (
     BatchedSpecDecodeEngine,
     EngineStep,
@@ -99,14 +103,8 @@ from repro.specdec.scheduler import SequenceRequest, SequenceSlot
 from repro.specdec.strategy import SdStrategy
 from repro.specdec.tree import ChildMode
 
-#: Terminal serving states — nothing left to do for these requests.
-_RESOLVED_STATES = frozenset(
-    {
-        RequestState.FINISHED,
-        RequestState.CANCELLED,
-        RequestState.EXPIRED,
-    }
-)
+#: Backwards-compatible alias (the set now lives beside RequestState).
+_RESOLVED_STATES = RESOLVED_STATES
 
 
 class ServingWorker:
@@ -218,15 +216,21 @@ class ServingWorker:
     # -- lifecycle ---------------------------------------------------------
 
     def enqueue(
-        self, request: SequenceRequest, predicted: int, waited: int = 0
+        self,
+        request: SequenceRequest,
+        predicted: int,
+        waited: int = 0,
+        urgent: bool = False,
     ) -> None:
         """Queue a request on this worker with its predicted length.
 
         ``waited`` carries cycles already spent queued on a donor worker
-        (work stealing) so the admission-wait metrics accumulate.
+        (work stealing) so the admission-wait metrics accumulate;
+        ``urgent`` routes the request into the scheduler's urgent
+        admission lane (ahead of non-urgent backlog).
         """
         self._predicted[request.request_id] = int(predicted)
-        self.engine.scheduler.push(request, waited=waited)
+        self.engine.scheduler.push(request, waited=waited, urgent=urgent)
 
     def steal(
         self, count: int = 1
@@ -305,6 +309,11 @@ class ServingEngine:
             preempt — PR 2 behaviour).
         work_stealing: rebalance queued requests between cycles.
         add_bos: prepend BOS to request prompts.
+        group_affinity: route requests sharing a ``group`` tag to the
+            worker the group's first member landed on (best effort —
+            work stealing may still move queued members).  Grouped GRPO
+            rollouts share their prompt by construction, so co-locating
+            a group is the admission-side hook for prefix-cache reuse.
     """
 
     def __init__(
@@ -322,6 +331,7 @@ class ServingEngine:
         preemption: Optional[PreemptionPolicy] = None,
         work_stealing: bool = True,
         add_bos: bool = True,
+        group_affinity: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ConfigError(
@@ -371,8 +381,29 @@ class ServingEngine:
         self._swap_drafter: Optional[Drafter] = None
         self._swap_queue: Deque[int] = deque()
         self.drafter_swaps = 0
+        self.group_affinity = group_affinity
+        self._group_worker: Dict[int, int] = {}
+        self._group_pending: Dict[int, int] = {}
+        self._next_id = 0
+        #: Slot-cycles decoded per SLO class (one live slot decoding for
+        #: one tick = one slot-cycle) — the per-class utilization the
+        #: co-location benchmark reads reclaimed-bubble capacity from.
+        self.class_slot_cycles: Dict[str, int] = {}
 
     # -- request API -------------------------------------------------------
+
+    def allocate_request_ids(self, count: int) -> range:
+        """Reserve ``count`` fresh globally-unique request ids.
+
+        Programmatic clients sharing the pool with a trace (the RL
+        rollout backend) must not collide with trace-assigned ids; this
+        hands them a contiguous id block past everything seen so far.
+        """
+        if count < 1:
+            raise ServingError(f"count must be >= 1, got {count}")
+        start = self._next_id
+        self._next_id = start + count
+        return range(start, start + count)
 
     def submit(self, request: ServingRequest) -> None:
         """Register an online request (dispatched once its time comes)."""
@@ -380,6 +411,7 @@ class ServingEngine:
             raise ServingError(
                 f"duplicate request_id {request.request_id}"
             )
+        self._next_id = max(self._next_id, request.request_id + 1)
         self.records[request.request_id] = RequestRecord(request=request)
         heapq.heappush(
             self._arrivals, (request.arrival_time, request.request_id)
@@ -422,6 +454,7 @@ class ServingEngine:
                 record.response = list(slot.response)
         record.state = RequestState.CANCELLED
         record.finish_time = self.clock.now
+        self._note_group_resolved(record)
         return True
 
     def park(self, request_id: int) -> bool:
@@ -550,11 +583,16 @@ class ServingEngine:
                     and len(slot.response) > 0
                 ):
                     record.first_token_time = completion
+                slo_name = record.request.slo.name
+                self.class_slot_cycles[slo_name] = (
+                    self.class_slot_cycles.get(slo_name, 0) + 1
+                )
             for slot in outcome.retired:
                 record = self.records[slot.request.request_id]
                 record.state = RequestState.FINISHED
                 record.finish_time = completion
                 record.response = list(slot.response)
+                self._note_group_resolved(record)
         self.clock.advance(1.0)
 
     def run(
@@ -587,6 +625,7 @@ class ServingEngine:
 
     def report(self) -> ServingReport:
         """Aggregate the current records into a report."""
+        capacity = self.workers[0].capacity
         return ServingReport(
             records=[
                 self.records[request_id]
@@ -599,6 +638,11 @@ class ServingEngine:
             ],
             stolen=self.stolen,
             policy=self.dispatch.name,
+            class_slot_cycles=dict(self.class_slot_cycles),
+            pool_slot_capacity=(
+                None if capacity is None
+                else capacity * len(self.workers)
+            ),
         )
 
     # -- internals ---------------------------------------------------------
@@ -649,11 +693,23 @@ class ServingEngine:
             if record.state is not RequestState.PENDING:
                 continue  # cancelled before arrival
             request = record.request
-            index = self.dispatch.choose(request, self.workers)
+            if (
+                self.group_affinity
+                and request.group is not None
+                and request.group in self._group_worker
+            ):
+                index = self._group_worker[request.group]
+            else:
+                index = self.dispatch.choose(request, self.workers)
             if not 0 <= index < len(self.workers):
                 raise ServingError(
                     f"dispatch policy {self.dispatch.name!r} chose "
                     f"worker {index} of {len(self.workers)}"
+                )
+            if self.group_affinity and request.group is not None:
+                self._group_worker.setdefault(request.group, index)
+                self._group_pending[request.group] = (
+                    self._group_pending.get(request.group, 0) + 1
                 )
             worker = self.workers[index]
             worker.enqueue(
@@ -665,6 +721,10 @@ class ServingEngine:
                     add_bos=self.add_bos,
                 ),
                 predicted=request.dispatch_length,
+                urgent=(
+                    self.preemption is not None
+                    and self.preemption.is_urgent(request)
+                ),
             )
             record.state = RequestState.QUEUED
             record.worker_id = worker.worker_id
@@ -676,16 +736,18 @@ class ServingEngine:
     ) -> None:
         """Park a live victim when ``request`` would otherwise queue.
 
-        Consulted right after dispatch.  Admission is FIFO, so the
-        freed slot would go to the oldest queued request, not
-        necessarily to ``request`` itself — the policy is therefore
-        evaluated against that actual *beneficiary*: a queue of urgent
-        requests keeps earning preemptions (each park seats the next
-        urgent head), while a BATCH request queued ahead of the urgent
-        arrival declines the park (it would cost the victim latency
-        for zero urgent-traffic benefit).  One victim per arrival —
-        preemption relieves head-of-line blocking, it does not drain
-        whole batches.
+        Consulted right after dispatch.  The freed slot goes to the
+        head of the admission order, not necessarily to ``request``
+        itself — the policy is therefore evaluated against that actual
+        *beneficiary*.  Urgent arrivals enter the scheduler's urgent
+        admission lane (ahead of any BATCH backlog), so the
+        beneficiary of a park earned by an urgent arrival is the
+        urgent traffic itself: a queue of urgent requests keeps
+        earning preemptions (each park seats the next urgent head),
+        while a non-urgent beneficiary declines the park (it would
+        cost the victim latency for zero urgent-traffic benefit).
+        One victim per arrival — preemption relieves head-of-line
+        blocking, it does not drain whole batches.
         """
         if self.preemption is None:
             return
@@ -709,6 +771,24 @@ class ServingEngine:
         if victim_id is None:
             return
         self._park(worker, victim_id, preempted=True)
+
+    def _note_group_resolved(self, record: RequestRecord) -> None:
+        """Release group-affinity state when a group's last dispatched
+        member reaches a terminal state (long-lived pools would
+        otherwise accumulate one pin per rollout group forever)."""
+        group = record.request.group
+        if (
+            not self.group_affinity
+            or group is None
+            or record.dispatch_time is None
+        ):
+            return
+        remaining = self._group_pending.get(group, 0) - 1
+        if remaining <= 0:
+            self._group_pending.pop(group, None)
+            self._group_worker.pop(group, None)
+        else:
+            self._group_pending[group] = remaining
 
     def _park(
         self, worker: ServingWorker, request_id: int, preempted: bool
@@ -753,3 +833,4 @@ class ServingEngine:
                     record.response = list(slot.response)
             record.state = RequestState.EXPIRED
             record.finish_time = now
+            self._note_group_resolved(record)

@@ -136,6 +136,12 @@ class ServingReport:
         worker_target_steps: batched target launches each worker spent.
         stolen: queued requests moved between workers by work stealing.
         policy: dispatch-policy name (labelling only).
+        class_slot_cycles: slot-cycles decoded per SLO class (one live
+            slot decoding for one tick = one slot-cycle) — the signal
+            that shows which class the pool's capacity actually went
+            to, rather than the aggregate ``utilization``.
+        pool_slot_capacity: total live slots across the pool (None when
+            per-worker capacity is unbounded).
     """
 
     records: List[RequestRecord]
@@ -144,6 +150,8 @@ class ServingReport:
     worker_target_steps: List[int]
     stolen: int = 0
     policy: str = ""
+    class_slot_cycles: Dict[str, int] = field(default_factory=dict)
+    pool_slot_capacity: Optional[int] = None
 
     # -- slices ------------------------------------------------------------
 
@@ -226,12 +234,32 @@ class ServingReport:
             return [0.0 for _ in self.worker_busy_cycles]
         return [c / self.ticks for c in self.worker_busy_cycles]
 
+    @property
+    def class_utilization(self) -> Dict[str, float]:
+        """Fraction of the pool's slot capacity each SLO class decoded.
+
+        Slot-cycles per class over the pool's total slot-cycles
+        (``pool_slot_capacity * ticks``; one slot per worker when the
+        capacity is unbounded).  This is the per-class split the
+        aggregate :attr:`utilization` hides — the co-location benchmark
+        reads reclaimed-bubble capacity directly off the BATCH entry.
+        """
+        slots = self.pool_slot_capacity or len(self.worker_busy_cycles)
+        denominator = self.ticks * max(slots, 1)
+        if denominator <= 0:
+            return {name: 0.0 for name in self.class_slot_cycles}
+        return {
+            name: cycles / denominator
+            for name, cycles in sorted(self.class_slot_cycles.items())
+        }
+
     def per_class(self) -> Dict[str, Dict[str, float]]:
-        """Latency/TTFT/attainment breakdown per SLO class."""
+        """Latency/TTFT/attainment/utilization breakdown per SLO class."""
         out: Dict[str, Dict[str, float]] = {}
         by_class: Dict[str, List[RequestRecord]] = {}
         for record in self.records:
             by_class.setdefault(record.request.slo.name, []).append(record)
+        class_utilization = self.class_utilization
         for name, records in sorted(by_class.items()):
             finished = [
                 r.latency for r in records
@@ -248,6 +276,10 @@ class ServingReport:
                 "slo_attainment": (
                     sum(1 for r in records if r.slo_met) / len(records)
                 ),
+                "slot_cycles": float(
+                    self.class_slot_cycles.get(name, 0)
+                ),
+                "utilization": class_utilization.get(name, 0.0),
             }
         return out
 

@@ -86,6 +86,18 @@ class RequestState(enum.Enum):
     EXPIRED = "expired"      # SLO deadline passed
 
 
+#: Terminal serving states — nothing left to do for these requests.
+#: Shared by the front-end's event loop and the RL rollout backend's
+#: drain loop, so a future terminal state cannot desynchronize them.
+RESOLVED_STATES = frozenset(
+    {
+        RequestState.FINISHED,
+        RequestState.CANCELLED,
+        RequestState.EXPIRED,
+    }
+)
+
+
 @dataclass
 class ServingRequest:
     """One online generation request.
@@ -99,6 +111,11 @@ class ServingRequest:
         predicted_length: predicted response length for dispatch (the
             cap is used when None — a perfect-oracle predictor).
         seed: seed of the request's private random stream.
+        group: optional group tag.  GRPO rollout groups share one tag so
+            the front-end can route a whole group to one worker
+            (``group_affinity``) — grouped rollouts share their prompt
+            by construction, which is what prefix-cache-aware admission
+            will exploit.  None means ungrouped (ordinary traffic).
     """
 
     request_id: int
@@ -108,6 +125,7 @@ class ServingRequest:
     slo: SloClass = STANDARD
     predicted_length: Optional[int] = None
     seed: int = 0
+    group: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_new_tokens < 1:

@@ -1,9 +1,11 @@
 """Request scheduling for the batched speculative generation engine.
 
 Continuous batching is a scheduling problem before it is a decoding
-problem: requests wait in FIFO order, are admitted into a bounded pool of
-live slots, decode for some number of draft/verify cycles, and retire on
-EOS or at their length cap — freeing the slot for the next waiting
+problem: requests wait in FIFO order (with an *urgent lane* jumping
+latency-critical arrivals ahead of background backlog — see
+:meth:`ContinuousBatchScheduler.push`), are admitted into a bounded pool
+of live slots, decode for some number of draft/verify cycles, and retire
+on EOS or at their length cap — freeing the slot for the next waiting
 request.  This module owns that lifecycle so the decode engine
 (:mod:`repro.specdec.batch_engine`) can focus on the per-cycle math.
 
@@ -241,6 +243,7 @@ class ContinuousBatchScheduler:
             )
         self.max_batch_size = max_batch_size
         self.waiting: Deque[SequenceRequest] = deque()
+        self._urgent: set = set()  # waiting ids in the urgent lane
         self.live: List[SequenceSlot] = []
         self.parked: Dict[int, SequenceSlot] = {}  # insertion = park order
         self._resuming: Deque[SequenceSlot] = deque()
@@ -344,7 +347,12 @@ class ContinuousBatchScheduler:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def push(self, request: SequenceRequest, waited: int = 0) -> None:
+    def push(
+        self,
+        request: SequenceRequest,
+        waited: int = 0,
+        urgent: bool = False,
+    ) -> None:
         """Append a request to the waiting queue (online admission).
 
         Args:
@@ -352,13 +360,28 @@ class ContinuousBatchScheduler:
             waited: cycles the request already waited elsewhere (set by
                 work stealing so admission waits accumulate across the
                 donor and receiver schedulers).
+            urgent: enter the urgent admission lane — the request is
+                queued ahead of every non-urgent waiting request (FIFO
+                among urgent ones), so latency-critical traffic never
+                queues behind a BATCH backlog.  The serving layer sets
+                this from the preemption policy's urgency test; plain
+                batch decoding never does.
         """
         request_id = request.request_id
         if request_id in self._lifecycle:
             raise SpecDecodeError(
                 f"duplicate request_id {request_id} pushed to scheduler"
             )
-        self.waiting.append(request)
+        if urgent:
+            lane_end = 0
+            for queued in self.waiting:
+                if queued.request_id not in self._urgent:
+                    break
+                lane_end += 1
+            self.waiting.insert(lane_end, request)
+            self._urgent.add(request_id)
+        else:
+            self.waiting.append(request)
         self._order.append(request_id)
         self._enqueued_cycle[request_id] = self._cycle - int(waited)
         self._lifecycle[request_id] = RequestLifecycle.WAITING
@@ -392,10 +415,20 @@ class ContinuousBatchScheduler:
         return readmitted
 
     def admit(self) -> List[SequenceSlot]:
-        """Move waiting requests into free slots (FIFO), returning them."""
+        """Move waiting requests into free slots (FIFO), returning them.
+
+        Slots that a queued resume will take are NOT free to the
+        waiting FIFO: resumed sequences re-enter ahead of fresh
+        admissions by contract, so admission reserves their capacity
+        even when :meth:`readmit_parked` has not run yet this cycle.
+        """
         admitted: List[SequenceSlot] = []
-        while self.waiting and self._capacity_free():
+        while self.waiting and (
+            self.max_batch_size is None
+            or len(self.live) + len(self._resuming) < self.max_batch_size
+        ):
             request = self.waiting.popleft()
+            self._urgent.discard(request.request_id)
             slot = SequenceSlot(
                 request=request,
                 sequence=list(request.prompt),
@@ -539,6 +572,7 @@ class ContinuousBatchScheduler:
         for request in self.waiting:
             if request.request_id == request_id:
                 self.waiting.remove(request)
+                self._urgent.discard(request_id)
                 self._enqueued_cycle.pop(request_id, None)
                 return _flag(
                     SequenceSlot(
@@ -569,6 +603,7 @@ class ContinuousBatchScheduler:
         stolen: List[Tuple[SequenceRequest, int]] = []
         while self.waiting and len(stolen) < count:
             request = self.waiting.pop()
+            self._urgent.discard(request.request_id)
             self._order.remove(request.request_id)
             self._lifecycle.pop(request.request_id, None)
             enqueued = self._enqueued_cycle.pop(

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import List, Optional, TYPE_CHECKING
 
+import numpy as np
+
 from repro.cluster.simulator import (
     ClusterSpec,
     RlStepSimulator,
@@ -29,14 +31,22 @@ from repro.cluster.simulator import (
 from repro.drafter.base import Drafter
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.rl.trainer import RlConfig
     from repro.spot.trainer import SpotTrainer
+    from repro.workload.prompts import Task
 from repro.hardware.gpus import ModelSpec
 from repro.llm.model import TinyLM
 from repro.rl.rollout_backends import AdaptiveSpeculativeRollout
+from repro.rl.serving_backend import ColocatedLoop, ServingRolloutBackend
+from repro.serving.dispatch import (
+    DispatchPolicy,
+    PreemptionPolicy,
+    SloPreemption,
+)
 from repro.rollout.acceptance import ParametricAcceptance
 from repro.rollout.adaptive import AdaptiveSdConfig, AdaptiveSdManager
-from repro.serving.dispatch import DispatchPolicy
 from repro.serving.frontend import ServingEngine
+from repro.specdec.strategy import SdStrategy
 from repro.systems.base import RlSystem, SystemStepReport
 
 #: Calibrated drafter qualities (fractions of the fresh-drafter accept
@@ -94,8 +104,11 @@ class _AdaptiveSdSystem(RlSystem):
         child_mode: str = "sample",
         use_tree: bool = True,
         dispatch: Optional[DispatchPolicy] = None,
+        preemption: Optional[PreemptionPolicy] = None,
         work_stealing: bool = True,
         share_bandit: bool = True,
+        group_affinity: bool = False,
+        strategy: Optional[SdStrategy] = None,
     ) -> ServingEngine:
         """Online serving front-end mirroring this system's SD policy.
 
@@ -118,30 +131,40 @@ class _AdaptiveSdSystem(RlSystem):
             child_mode: tree child expansion mode (``sample`` = lossless).
             use_tree: tree-based drafting (default) or linear chains.
             dispatch: routing policy (round-robin when omitted).
+            preemption: optional policy parking live low-urgency
+                requests for urgent arrivals (None = never preempt).
             work_stealing: rebalance queued requests between cycles.
             share_bandit: share one strategy selector across workers.
+            group_affinity: co-locate requests sharing a group tag.
+            strategy: static SD configuration; when set, per-worker
+                adaptive managers are NOT built and every cycle runs
+                this strategy (what byte-identity guarantees need —
+                elastic SD legitimately depends on the live batch).
         """
         managers: List[AdaptiveSdManager] = []
-        selector = self.sd_config.selector
-        for _ in range(num_workers):
-            manager = AdaptiveSdManager(
-                replace(self.sd_config, selector=selector)
-            )
-            if share_bandit and selector is None:
-                selector = manager.selector
-            managers.append(manager)
+        if strategy is None:
+            selector = self.sd_config.selector
+            for _ in range(num_workers):
+                manager = AdaptiveSdManager(
+                    replace(self.sd_config, selector=selector)
+                )
+                if share_bandit and selector is None:
+                    selector = manager.selector
+                managers.append(manager)
         return ServingEngine(
             target,
             drafter,
             num_workers=num_workers,
-            strategy=None,
-            sd_managers=managers,
+            strategy=strategy,
+            sd_managers=managers or None,
             temperature=temperature,
             child_mode=child_mode,  # type: ignore[arg-type]
             use_tree=use_tree,
             max_batch_size=max_batch_size,
             dispatch=dispatch,
+            preemption=preemption,
             work_stealing=work_stealing,
+            group_affinity=group_affinity,
         )
 
     def publish_drafter(
@@ -166,6 +189,112 @@ class _AdaptiveSdSystem(RlSystem):
         refreshed = spot_trainer.snapshot_drafter()
         frontend.swap_drafter(refreshed)
         return refreshed
+
+    def colocated_system(
+        self,
+        policy: TinyLM,
+        drafter: Drafter,
+        task: "Task",
+        rl_config: "RlConfig",
+        num_workers: int = 2,
+        max_batch_size: Optional[int] = 4,
+        strategy: Optional[SdStrategy] = None,
+        child_mode: str = "sample",
+        use_tree: bool = True,
+        dispatch: Optional[DispatchPolicy] = None,
+        preemption: Optional[PreemptionPolicy] = None,
+        work_stealing: bool = True,
+        group_affinity: bool = True,
+        spot_trainer: Optional["SpotTrainer"] = None,
+        spot_updates_per_round: int = 20,
+        rl_rng: Optional[np.random.Generator] = None,
+        spot_rng: Optional[np.random.Generator] = None,
+    ) -> ColocatedLoop:
+        """Wire serving, RL training, and drafter refresh into one loop.
+
+        The ROADMAP's north-star scenario: ONE worker pool serves
+        online traffic *and* generates the trainer's GRPO rollouts.
+        Rollout groups enter as group-tagged BATCH requests, the
+        :class:`~repro.serving.dispatch.SloPreemption` policy (the
+        default) parks them byte-identically whenever interactive
+        arrivals need slots, and — when a spot trainer is attached —
+        each round ends with :meth:`publish_drafter` rolling the
+        refreshed EAGLE weights across the pool with zero downtime.
+
+        Args:
+            policy: the model being RL-trained; the pool serves the
+                SAME object, so in-place updates reach every worker.
+            drafter: the pool's initial drafter.
+            task: prompt generator + verifier for the RL loop.
+            rl_config: RL hyper-parameters (the pool inherits its
+                rollout temperature).
+            num_workers / max_batch_size: pool shape.
+            strategy: static SD configuration; when None, per-worker
+                adaptive managers are built from ``self.sd_config``
+                (elastic SD — rollout outputs then legitimately depend
+                on the live batch, so use a static strategy when you
+                need byte-identity against a dedicated pool).
+            child_mode / use_tree: drafting configuration.
+            dispatch: routing policy (round-robin when omitted).
+            preemption: defaults to :class:`SloPreemption` — the
+                policy that makes co-location safe for interactive
+                latency.
+            work_stealing: rebalance queued requests between cycles.
+            group_affinity: co-locate each GRPO group on one worker
+                (on by default — groups share prompts by construction).
+            spot_trainer: optional spot drafter trainer closing the
+                refresh loop.
+            spot_updates_per_round: drafter update budget per round.
+            rl_rng / spot_rng: generators for the trainer and the
+                spot-buffer sampling.
+
+        Returns:
+            A ready-to-run :class:`~repro.rl.serving_backend.
+            ColocatedLoop`; submit interactive traffic to its
+            ``frontend`` at any point.
+        """
+        from repro.rl.trainer import RlTrainer
+
+        frontend = self.serving_frontend(
+            policy,
+            drafter,
+            num_workers=num_workers,
+            max_batch_size=max_batch_size,
+            temperature=rl_config.temperature,
+            child_mode=child_mode,
+            use_tree=use_tree,
+            dispatch=dispatch,
+            preemption=(
+                preemption if preemption is not None
+                else SloPreemption()
+            ),
+            work_stealing=work_stealing,
+            group_affinity=group_affinity,
+            strategy=strategy,
+        )
+        backend = ServingRolloutBackend(
+            frontend, group_size=rl_config.group_size
+        )
+        trainer = RlTrainer(
+            policy,
+            task,
+            rl_config,
+            backend=backend,
+            rng=rl_rng,
+        )
+        publish = None
+        if spot_trainer is not None:
+            publish = lambda: self.publish_drafter(  # noqa: E731
+                frontend, spot_trainer
+            )
+        return ColocatedLoop(
+            frontend,
+            trainer,
+            spot=spot_trainer,
+            publish=publish,
+            spot_updates_per_round=spot_updates_per_round,
+            spot_rng=spot_rng,
+        )
 
 
 class TltBaseSystem(_AdaptiveSdSystem):

@@ -26,7 +26,12 @@ from repro.workload.prompts import (
     Task,
     make_prompt_batch,
 )
-from repro.workload.traces import TraceStep, TrainingTrace, synthesize_trace
+from repro.workload.traces import (
+    TraceStep,
+    TrainingTrace,
+    mixed_serving_trace,
+    synthesize_trace,
+)
 
 __all__ = [
     "LengthModel",
@@ -43,4 +48,5 @@ __all__ = [
     "TraceStep",
     "TrainingTrace",
     "synthesize_trace",
+    "mixed_serving_trace",
 ]

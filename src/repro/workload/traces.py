@@ -8,17 +8,30 @@ The ByteDance production trace shows, across 385 RL steps over 11 days:
 
 :func:`synthesize_trace` reproduces that shape from a drifting lognormal
 whose median grows with the policy's reasoning depth, plus per-step jitter.
+
+:func:`mixed_serving_trace` generates the *online* counterpart: an
+INTERACTIVE Poisson stream over a floor of long BATCH-class rollout
+requests — the co-located RL + serving workload where background
+rollouts soak whatever capacity the latency-critical traffic leaves
+idle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.workload.lengths import LognormalLengths, length_statistics
+from repro.workload.lengths import (
+    LengthModel,
+    LognormalLengths,
+    length_statistics,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.serving.request import ServingRequest
 
 
 @dataclass(frozen=True)
@@ -128,3 +141,100 @@ def synthesize_trace(
             )
         )
     return TrainingTrace(steps=steps, cap=cap)
+
+
+def mixed_serving_trace(
+    rng: np.random.Generator,
+    vocab_size: int,
+    num_interactive: int,
+    num_batch: int,
+    interactive_gap: float = 2.5,
+    batch_gap: float = 1.0,
+    interactive_lengths: Optional[LengthModel] = None,
+    batch_lengths: Optional[LengthModel] = None,
+    prompt_len: int = 4,
+    predictor_noise: float = 0.0,
+    batch_group_size: Optional[int] = None,
+    start_id: int = 0,
+) -> List["ServingRequest"]:
+    """Synthesize the co-located RL + serving workload as one trace.
+
+    Short INTERACTIVE requests arrive as a Poisson stream over a floor
+    of long BATCH-class requests (the RL-rollout traffic shape): the
+    merged trace is what the closed-loop benchmarks drive through a
+    shared :class:`~repro.serving.frontend.ServingEngine` — BATCH
+    requests soak idle capacity, :class:`~repro.serving.dispatch.
+    SloPreemption` parks them when interactive arrivals need slots.
+
+    Args:
+        rng: master generator (one seed fixes the whole trace).
+        vocab_size: prompt token ids drawn from ``[3, vocab_size)``.
+        num_interactive: interactive requests in the stream.
+        num_batch: BATCH-class background requests in the floor.
+        interactive_gap / batch_gap: mean inter-arrival ticks per class.
+        interactive_lengths / batch_lengths: response-length models
+            (defaults: a short lognormal for interactive, a long-tailed
+            lognormal for batch — the paper's rollout distribution).
+        prompt_len: prompt length in tokens.
+        predictor_noise: lognormal sigma of the multiplicative noise on
+            ``predicted_length`` (0.0 = oracle predictor).
+        batch_group_size: when set, consecutive BATCH requests share a
+            GRPO-style group tag in chunks of this size (and the group's
+            prompt, as grouped rollouts do by construction).
+        start_id: first request id (batch floor first, then stream).
+
+    Returns:
+        Requests of both classes merged and sorted by arrival time.
+    """
+    # Imported here: repro.serving.request itself imports
+    # repro.workload.lengths, so a module-level import would cycle
+    # through the two packages' __init__ modules.
+    from repro.serving.request import (
+        BATCH,
+        INTERACTIVE,
+        poisson_trace,
+    )
+
+    if num_interactive < 1 or num_batch < 1:
+        raise ConfigError(
+            "num_interactive and num_batch must be >= 1"
+        )
+    if batch_group_size is not None and batch_group_size < 1:
+        raise ConfigError("batch_group_size must be >= 1 when set")
+    interactive_lengths = interactive_lengths or LognormalLengths(
+        median=5.0, sigma=0.4, cap=12
+    )
+    batch_lengths = batch_lengths or LognormalLengths(
+        median=60.0, sigma=0.8, cap=240
+    )
+    floor = poisson_trace(
+        rng,
+        num_requests=num_batch,
+        mean_interarrival=batch_gap,
+        length_model=batch_lengths,
+        vocab_size=vocab_size,
+        prompt_len=prompt_len,
+        slo_mix=((BATCH, 1.0),),
+        predictor_noise=predictor_noise,
+        start_id=start_id,
+    )
+    if batch_group_size is not None:
+        for i, request in enumerate(floor):
+            request.group = start_id + i // batch_group_size
+            leader = floor[(i // batch_group_size) * batch_group_size]
+            request.prompt = list(leader.prompt)
+    stream = poisson_trace(
+        rng,
+        num_requests=num_interactive,
+        mean_interarrival=interactive_gap,
+        length_model=interactive_lengths,
+        vocab_size=vocab_size,
+        prompt_len=prompt_len,
+        slo_mix=((INTERACTIVE, 1.0),),
+        predictor_noise=predictor_noise,
+        start_id=start_id + num_batch,
+    )
+    return sorted(
+        floor + stream,
+        key=lambda r: (r.arrival_time, r.request_id),
+    )

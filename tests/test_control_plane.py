@@ -494,13 +494,13 @@ class TestServingPreemption:
         report = frontend.run()
         assert all(r.finished for r in report.records)
 
-    def test_preemption_declines_when_park_would_not_seat_arrival(
+    def test_urgent_lane_makes_preemption_seat_the_arrival(
         self, target, trained_drafter
     ):
-        """Admission is FIFO: if queued requests sit ahead of the
-        urgent arrival, parking one victim hands the slot to the queue
-        head, not the arrival — the policy must decline rather than
-        park a victim for nothing."""
+        """An urgent arrival that meets a BATCH backlog enters the
+        urgent admission lane (queued ahead of the backlog), so the
+        park's freed slot seats the arrival itself — co-location's
+        head-of-line-blocking fix.  Parked rollouts resume and finish."""
         frontend = ServingEngine(
             target, trained_drafter, num_workers=1, strategy=STRATEGY,
             temperature=0.9, max_batch_size=1,
@@ -519,7 +519,35 @@ class TestServingPreemption:
             slo=INTERACTIVE, seed=9,
         )
         report = ServingEngine.run(frontend, batch + [urgent])
-        assert report.preemptions == 0  # declined: park would be wasted
+        assert report.preemptions == 1  # park fired FOR the arrival
+        urgent_record = report.records[3]
+        # Jumped the 2-deep BATCH backlog: admitted right after arrival
+        # into the parked victim's slot, not after ~60-token stragglers.
+        assert urgent_record.queue_wait is not None
+        assert urgent_record.queue_wait <= 2.0
+        assert all(r.finished for r in report.records)
+
+    def test_preemption_declines_when_free_slot_seats_arrival(
+        self, target, trained_drafter
+    ):
+        """No park is ever wasted: an urgent arrival that a free slot
+        will seat next cycle anyway never triggers a preemption."""
+        frontend = ServingEngine(
+            target, trained_drafter, num_workers=1, strategy=STRATEGY,
+            temperature=0.9, max_batch_size=2,
+            preemption=SloPreemption(),
+        )
+        rng = np.random.default_rng(3)
+        live = ServingRequest(
+            0, list(rng.integers(3, 24, 4)), 60, 0.0,
+            slo=BATCH, seed=0,
+        )
+        urgent = ServingRequest(
+            1, list(rng.integers(3, 24, 4)), 5, 2.0,
+            slo=INTERACTIVE, seed=9,
+        )
+        report = ServingEngine.run(frontend, [live, urgent])
+        assert report.preemptions == 0  # the second slot was free
         assert all(r.finished for r in report.records)
 
     def test_resuming_slots_visible_to_load_signals(
