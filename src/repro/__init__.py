@@ -45,6 +45,7 @@ from repro.rl import (
     SpeculativeRollout,
     VanillaRollout,
 )
+from repro.cache import KVCacheManager, PrefixIndex
 from repro.serving import (
     ServingEngine,
     ServingRequest,
@@ -52,6 +53,8 @@ from repro.serving import (
     poisson_trace,
 )
 from repro.specdec import (
+    FifoAdmission,
+    PrefixAwareAdmission,
     SdStrategy,
     default_strategy_pool,
     speculative_generate,
@@ -87,5 +90,9 @@ __all__ = [
     "ServingRequest",
     "SloClass",
     "poisson_trace",
+    "KVCacheManager",
+    "PrefixIndex",
+    "FifoAdmission",
+    "PrefixAwareAdmission",
     "__version__",
 ]

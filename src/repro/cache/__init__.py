@@ -1,0 +1,33 @@
+"""Shared prefix-cache subsystem (ROADMAP: prefix-cache aware admission).
+
+GRPO rollout groups share their prompt by construction, and interactive
+traffic repeats system-prompt-style prefixes; both workloads pay a
+prefill forward per request today.  This package owns the machinery
+that amortises it:
+
+* :class:`~repro.cache.prefix_index.PrefixIndex` — a path-compressed
+  radix tree over token sequences answering exact-membership and
+  longest-shared-prefix queries in O(query length);
+* :class:`~repro.cache.manager.KVCacheManager` — per-worker cached
+  prefix blocks (the target hidden hand-off, the substrate's stand-in
+  for a prompt's KV cache) with ref-counting by live slots, LRU
+  eviction by last-touch cycle, and hit/miss accounting.
+
+The engine consumes it through admission
+(:class:`~repro.specdec.control.PrefixAwareAdmission` co-admits waiting
+requests sharing a cached or in-flight prefix so one prefill launch
+serves all of them) and the serving layer through dispatch
+(:class:`~repro.serving.dispatch.PrefixAffinityDispatch` routes
+arrivals to the worker already holding their prefix).
+"""
+
+from repro.cache.manager import CacheEntry, CacheStats, KVCacheManager
+from repro.cache.prefix_index import PrefixIndex, common_prefix_len
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "KVCacheManager",
+    "PrefixIndex",
+    "common_prefix_len",
+]

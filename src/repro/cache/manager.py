@@ -1,0 +1,288 @@
+"""Per-worker cached prefix blocks: ref-counting, eviction, accounting.
+
+A :class:`KVCacheManager` owns the cached *prefix blocks* of one decode
+worker.  In the real system a block is the KV cache of a prompt prefix;
+on this algorithmic substrate the reusable artifact is the target
+**hidden hand-off** — the (num_layers, hidden_size) stack at a prompt's
+second-to-last position that seeds the drafter
+(:func:`repro.specdec.engine.initial_hiddens`).  The hand-off is a pure
+function of the prompt tokens, so serving it from cache is
+byte-identical to recomputing it; what the cache saves is the prefill
+forward itself (one per shared prompt instead of one per group member —
+the GRPO-rollout amortisation the paper's workload is built from).
+
+Semantics:
+
+* **Exact reuse** — :meth:`lookup` returns a *copy* of the cached
+  hand-off only on a full-prompt match (the hand-off depends on every
+  prompt token).  Partial matches still matter: :meth:`longest_prefix`
+  scores them for cache-affinity dispatch and prefix-aware admission
+  without touching the hit/miss counters.
+* **Ref-counting** — live slots pin the entry their prompt was served
+  from (:meth:`acquire`/:meth:`release`); eviction never removes a
+  pinned entry, so capacity pressure can never corrupt a live slot.
+  Parking a request releases its ref; resuming re-acquires it.
+* **Eviction** — LRU by last-touch cycle (insertion and every hit
+  touch), ties broken by insertion order so eviction is deterministic
+  under a fixed seed, like everything else in the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.prefix_index import PrefixIndex, TokenSeq
+from repro.errors import CacheError
+
+
+@dataclass
+class CacheEntry:
+    """One cached prefix block.
+
+    Attributes:
+        tokens: the full prompt prefix this block covers.
+        hidden: the target hidden hand-off at its second-to-last
+            position (stored copy; lookups hand out further copies).
+        refcount: live slots currently pinning this entry.
+        last_touch: engine cycle of the most recent insert or hit.
+        sequence_number: insertion ordinal (deterministic LRU ties).
+    """
+
+    tokens: TokenSeq
+    hidden: np.ndarray
+    refcount: int = 0
+    last_touch: int = 0
+    sequence_number: int = 0
+
+    @property
+    def size_tokens(self) -> int:
+        """Capacity charge of this entry, in prompt tokens."""
+        return len(self.tokens)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting (monotonic counters)."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected: int = 0  # inserts skipped because pinned entries filled it
+
+    @property
+    def lookups(self) -> int:
+        """Exact-match lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 before any lookup)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class KVCacheManager:
+    """Bounded store of prefix blocks with ref-counts and LRU eviction.
+
+    Args:
+        capacity_tokens: total prompt tokens the cache may hold; an
+            insert that cannot fit after evicting every unpinned entry
+            is skipped (never evicts pinned blocks).
+    """
+
+    def __init__(self, capacity_tokens: int) -> None:
+        if capacity_tokens < 1:
+            raise CacheError(
+                f"capacity_tokens must be >= 1, got {capacity_tokens}"
+            )
+        self.capacity_tokens = capacity_tokens
+        self.stats = CacheStats()
+        self._entries: Dict[TokenSeq, CacheEntry] = {}
+        self._index = PrefixIndex()
+        self._cached_tokens = 0
+        self._next_sequence = 0
+
+    # -- state -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def num_entries(self) -> int:
+        """Cached prefix blocks."""
+        return len(self._entries)
+
+    @property
+    def cached_tokens(self) -> int:
+        """Prompt tokens currently held."""
+        return self._cached_tokens
+
+    @property
+    def hit_rate(self) -> float:
+        """Exact-lookup hit rate so far."""
+        return self.stats.hit_rate
+
+    def refcount(self, tokens: Sequence[int]) -> int:
+        """Pin count of an entry (0 when absent)."""
+        entry = self._entries.get(tuple(int(t) for t in tokens))
+        return 0 if entry is None else entry.refcount
+
+    def entries(self) -> List[CacheEntry]:
+        """Snapshot of cached entries in insertion order."""
+        return sorted(
+            self._entries.values(), key=lambda e: e.sequence_number
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def lookup(
+        self, tokens: Sequence[int], cycle: int
+    ) -> Optional[np.ndarray]:
+        """Exact-match lookup; counts a hit or a miss.
+
+        Returns a *copy* of the cached hidden hand-off (callers own
+        their slot state; eviction must never reach into a live slot),
+        or None on miss.  A hit refreshes the entry's last-touch cycle.
+        """
+        key = tuple(int(t) for t in tokens)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        entry.last_touch = cycle
+        return entry.hidden.copy()
+
+    def longest_prefix(self, tokens: Sequence[int]) -> int:
+        """Leading tokens shared with any cached prefix (no accounting).
+
+        The probe dispatch and admission policies rank candidates by;
+        it deliberately does NOT count toward hit/miss statistics —
+        policies probe speculatively and would otherwise drown the
+        hit-rate signal the reports surface.
+        """
+        return self._index.longest_prefix(tokens)
+
+    def contains(self, tokens: Sequence[int]) -> bool:
+        """Whether the exact prefix is cached (no accounting)."""
+        return tuple(int(t) for t in tokens) in self._entries
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(
+        self, tokens: Sequence[int], hidden: np.ndarray, cycle: int
+    ) -> bool:
+        """Cache a prefix block, evicting LRU unpinned entries to fit.
+
+        Returns True when the block is cached afterwards (re-inserting
+        an existing key just refreshes its touch cycle).  Returns False
+        when the block cannot fit even after evicting every unpinned
+        entry — pinned blocks are never evicted, so under extreme
+        pressure the cache declines new entries rather than corrupting
+        state a live slot depends on.
+        """
+        key = tuple(int(t) for t in tokens)
+        if not key:
+            raise CacheError("cannot cache an empty token sequence")
+        existing = self._entries.get(key)
+        if existing is not None:
+            existing.last_touch = cycle
+            return True
+        size = len(key)
+        if size > self.capacity_tokens:
+            self.stats.rejected += 1
+            return False
+        if not self._make_room(size):
+            self.stats.rejected += 1
+            return False
+        entry = CacheEntry(
+            tokens=key,
+            hidden=np.asarray(hidden).copy(),
+            last_touch=cycle,
+            sequence_number=self._next_sequence,
+        )
+        self._next_sequence += 1
+        self._entries[key] = entry
+        self._index.insert(key)
+        self._cached_tokens += size
+        self.stats.insertions += 1
+        return True
+
+    def acquire(self, tokens: Sequence[int]) -> bool:
+        """Pin the entry covering ``tokens`` (False when absent)."""
+        entry = self._entries.get(tuple(int(t) for t in tokens))
+        if entry is None:
+            return False
+        entry.refcount += 1
+        return True
+
+    def release(self, tokens: Sequence[int]) -> bool:
+        """Unpin the entry covering ``tokens`` (False when absent).
+
+        Releasing below zero raises — a double release is a lifecycle
+        bug in the caller, not a condition to paper over.
+        """
+        entry = self._entries.get(tuple(int(t) for t in tokens))
+        if entry is None:
+            return False
+        if entry.refcount < 1:
+            raise CacheError(
+                f"release() without a matching acquire() for "
+                f"{entry.tokens!r}"
+            )
+        entry.refcount -= 1
+        return True
+
+    def evict(self, tokens: Sequence[int]) -> bool:
+        """Explicitly drop an entry (refuses while pinned)."""
+        key = tuple(int(t) for t in tokens)
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        if entry.refcount > 0:
+            raise CacheError(
+                f"cannot evict pinned entry {key!r} "
+                f"(refcount {entry.refcount})"
+            )
+        self._drop(entry)
+        return True
+
+    # -- internals ---------------------------------------------------------
+
+    def _make_room(self, size: int) -> bool:
+        """Evict LRU unpinned entries until ``size`` tokens fit.
+
+        Checked for feasibility FIRST: when pinned entries alone leave
+        no room, nothing is evicted — sweeping the whole warm cache
+        only to reject the insert anyway would trade every future hit
+        for nothing.
+        """
+        if self._cached_tokens + size <= self.capacity_tokens:
+            return True
+        pinned = sum(
+            e.size_tokens
+            for e in self._entries.values()
+            if e.refcount > 0
+        )
+        if pinned + size > self.capacity_tokens:
+            return False
+        victims = sorted(
+            (e for e in self._entries.values() if e.refcount == 0),
+            key=lambda e: (e.last_touch, e.sequence_number),
+        )
+        for victim in victims:
+            self._drop(victim)
+            if self._cached_tokens + size <= self.capacity_tokens:
+                return True
+        return self._cached_tokens + size <= self.capacity_tokens
+
+    def _drop(self, entry: CacheEntry) -> None:
+        del self._entries[entry.tokens]
+        self._index.remove(entry.tokens)
+        self._cached_tokens -= entry.size_tokens
+        self.stats.evictions += 1

@@ -67,3 +67,7 @@ class TunerError(ReproError):
 
 class ServingError(ReproError):
     """The online serving front-end was driven into an invalid state."""
+
+
+class CacheError(ReproError):
+    """The prefix-cache subsystem was misused (bad key, ref underflow)."""

@@ -218,6 +218,12 @@ class ServingRolloutBackend(DraftedRolloutBackend):
         steps_before = sum(
             w.engine.target_steps for w in engine.workers
         )
+        prefill_before = sum(
+            w.engine.prefill_launches for w in engine.workers
+        )
+        saved_before = sum(
+            w.engine.prefill_launches_saved for w in engine.workers
+        )
         ticks = 0
         while any(
             engine.records[i].state not in RESOLVED_STATES for i in ids
@@ -265,6 +271,25 @@ class ServingRolloutBackend(DraftedRolloutBackend):
                 "stolen": float(sum(r.stolen for r in records)),
                 "rollout_tokens": float(
                     sum(len(r) for r in responses)
+                ),
+                # Pool-wide prefill accounting over the rollout window
+                # (same provenance caveat as pool_target_steps):
+                # grouped rollouts share prompts by construction, so
+                # with a prefix cache + prefix-aware admission most of
+                # a group's prefill launches show up as saved.
+                "prefill_launches": float(
+                    sum(
+                        w.engine.prefill_launches
+                        for w in engine.workers
+                    )
+                    - prefill_before
+                ),
+                "prefill_launches_saved": float(
+                    sum(
+                        w.engine.prefill_launches_saved
+                        for w in engine.workers
+                    )
+                    - saved_before
                 ),
             },
         )

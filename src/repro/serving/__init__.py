@@ -24,7 +24,9 @@ from repro.serving.dispatch import (
     DispatchPolicy,
     LeastLoadedDispatch,
     LongTailDispatch,
+    PreemptionAwareDispatch,
     PreemptionPolicy,
+    PrefixAffinityDispatch,
     RoundRobinDispatch,
     SloPreemption,
     steal_work,
@@ -48,6 +50,8 @@ __all__ = [
     "LeastLoadedDispatch",
     "LongTailDispatch",
     "PreemptionPolicy",
+    "PrefixAffinityDispatch",
+    "PreemptionAwareDispatch",
     "SloPreemption",
     "steal_work",
     "ServingEngine",

@@ -15,6 +15,13 @@ about:
   dedicated tail workers so a 30k-token straggler never heads-of-line
   blocks a stream of short interactive requests (DARTS-style length-
   distribution shaping).
+* :class:`PrefixAffinityDispatch` — routes arrivals to the worker whose
+  prefix cache (or in-flight requests) already holds the longest shared
+  prefix of their prompt, so prefills land as cache hits — the
+  dispatch-side half of the prefix-cache subsystem (:mod:`repro.cache`).
+* :class:`PreemptionAwareDispatch` — when the whole pool is saturated,
+  routes urgent arrivals to the worker whose cheapest preemption victim
+  has the fewest remaining tokens, minimising what a park costs.
 
 :func:`steal_work` rebalances *queued* (not yet admitted) requests from
 backlogged workers onto workers with free slots between cycles — the
@@ -36,7 +43,8 @@ classes without touching a single committed token.
 Policies duck-type their ``workers`` argument against the serving
 front-end's :class:`~repro.serving.frontend.ServingWorker` surface
 (``num_live``, ``num_waiting``, ``free_slots``, ``backlog_tokens``,
-``steal``, ``enqueue``).
+``steal``, ``enqueue``, ``prefix_match``, ``victim_cost``,
+``park_cost``).
 """
 
 from __future__ import annotations
@@ -141,6 +149,131 @@ class LongTailDispatch(DispatchPolicy):
         head, tail = self._groups(len(workers))
         group = tail if request.dispatch_length >= self.threshold else head
         return min(group, key=lambda i: (workers[i].backlog_tokens, i))
+
+
+class PrefixAffinityDispatch(DispatchPolicy):
+    """Route arrivals to the worker already holding their prompt prefix.
+
+    The dispatch-side half of the prefix-cache subsystem: each worker
+    is probed for the longest prefix its
+    :class:`~repro.cache.manager.KVCacheManager` (or any in-flight
+    request) shares with the arriving prompt
+    (:meth:`~repro.serving.frontend.ServingWorker.prefix_match`), and
+    the arrival joins the best-matching worker — so its prefill is a
+    cache hit there instead of a cold recompute somewhere else.  This
+    extends PR 4's tag-only ``group_affinity`` to *true* prefix matches
+    from the interactive side: no group tag needed, repeated
+    system-prompt-style prefixes find their worker by content.
+
+    Matches shorter than ``min_match`` tokens fall through to the
+    ``fallback`` policy (least-loaded when omitted) — a one-token
+    coincidence is not affinity, and with BOS applied every prompt
+    trivially shares its first token.  Among equally matched workers
+    the least-backlogged wins (ties to the lowest id), so affinity
+    cannot pile every request onto one hot worker when matches tie.
+
+    Args:
+        fallback: policy for arrivals with no sufficient match.
+        min_match: minimum shared leading tokens (BOS included when
+            the front-end applies one) for affinity to bind.
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(
+        self,
+        fallback: Optional[DispatchPolicy] = None,
+        min_match: int = 2,
+    ) -> None:
+        if min_match < 1:
+            raise ConfigError(
+                f"min_match must be >= 1, got {min_match}"
+            )
+        self.fallback = fallback or LeastLoadedDispatch()
+        self.min_match = min_match
+
+    def choose(self, request: ServingRequest, workers: Sequence) -> int:
+        self._validate(workers)
+        matches = [
+            worker.prefix_match(request.prompt) for worker in workers
+        ]
+        best = max(matches)
+        if best < self.min_match:
+            return self.fallback.choose(request, workers)
+        return min(
+            (i for i, match in enumerate(matches) if match == best),
+            key=lambda i: (workers[i].backlog_tokens, i),
+        )
+
+
+class PreemptionAwareDispatch(DispatchPolicy):
+    """Route urgent arrivals where preemption will be cheapest.
+
+    Dispatch policies normally ignore what preemption will do to the
+    worker they pick; when every worker is saturated (zero free slots)
+    that choice decides WHICH live request gets parked.  This policy
+    routes an urgent arrival to the worker where the park will cost
+    the fewest remaining predicted tokens, so preemption spends the
+    least batch-latency per slot freed.  The cost per worker is the
+    remaining tokens of the victim the preemption policy would REALLY
+    choose there (:meth:`~repro.serving.frontend.ServingWorker.
+    park_cost` evaluates the policy against the worker's live set),
+    and urgency is that policy's own ``is_urgent`` test — routing and
+    parking cannot drift apart.  Pass the pool's actual policy
+    instance via ``policy``; when omitted, a :class:`SloPreemption`
+    is built from ``urgent_ttft``/``victim_classes`` (the pool
+    defaults), which is only correct if the pool runs those defaults
+    too.
+
+    Workers where no park can happen (no eligible victim) are skipped
+    entirely; non-urgent arrivals, and any arrival while a free slot
+    exists somewhere, fall through to the ``fallback`` policy.
+
+    Args:
+        fallback: policy used outside the saturated-urgent case
+            (least-loaded when omitted).
+        policy: the pool's preemption policy; urgency and per-worker
+            park costs are derived from it directly.
+        urgent_ttft: TTFT target for the internally built
+            :class:`SloPreemption` when ``policy`` is omitted.
+        victim_classes: victim classes for the internally built
+            :class:`SloPreemption` when ``policy`` is omitted.
+    """
+
+    name = "preemption-aware"
+
+    def __init__(
+        self,
+        fallback: Optional[DispatchPolicy] = None,
+        policy: Optional["PreemptionPolicy"] = None,
+        urgent_ttft: float = 4.0,
+        victim_classes: Optional[Sequence[str]] = ("batch",),
+    ) -> None:
+        if urgent_ttft <= 0:
+            raise ConfigError(
+                f"urgent_ttft must be positive, got {urgent_ttft}"
+            )
+        self.fallback = fallback or LeastLoadedDispatch()
+        self.policy = policy or SloPreemption(
+            urgent_ttft=urgent_ttft, victim_classes=victim_classes
+        )
+
+    def choose(self, request: ServingRequest, workers: Sequence) -> int:
+        self._validate(workers)
+        if not self.policy.is_urgent(request) or any(
+            worker.free_slots > 0 for worker in workers
+        ):
+            return self.fallback.choose(request, workers)
+        costs = [
+            worker.park_cost(self.policy, request)
+            for worker in workers
+        ]
+        if all(cost is None for cost in costs):
+            return self.fallback.choose(request, workers)
+        return min(
+            (i for i, cost in enumerate(costs) if cost is not None),
+            key=lambda i: (costs[i], workers[i].backlog_tokens, i),
+        )
 
 
 class PreemptionPolicy(abc.ABC):

@@ -72,9 +72,12 @@ from typing import (
     Tuple,
 )
 
+from repro.cache.manager import KVCacheManager
+from repro.cache.prefix_index import common_prefix_len
 from repro.drafter.base import Drafter
 from repro.errors import ConfigError, ServingError
 from repro.llm.model import TinyLM
+from repro.llm.vocab import BOS_ID
 from repro.rollout.adaptive import AdaptiveSdManager
 from repro.serving.clock import VirtualClock
 from repro.serving.dispatch import (
@@ -95,6 +98,7 @@ from repro.specdec.batch_engine import (
     make_serving_request,
 )
 from repro.specdec.control import (
+    AdmissionPolicy,
     EventBus,
     RequestEvent,
     RequestEventKind,
@@ -122,6 +126,14 @@ class ServingWorker:
             (an incremental session is opened immediately).
         time_fn: virtual-time source wired into the engine's event
             stream (the pool's clock).
+        add_bos: whether the front-end prepends BOS to prompts — the
+            worker's prefix probes must compare in the engine's token
+            space, not the client's.
+        resolve: maps a request id to its :class:`~repro.serving.
+            request.ServingRequest` (wired to the front-end's
+            records), so :meth:`victim_cost` / :meth:`park_cost` can
+            reason about SLO classes the engine-level requests don't
+            carry.  None = no serving-level information.
     """
 
     def __init__(
@@ -129,12 +141,18 @@ class ServingWorker:
         worker_id: int,
         engine: BatchedSpecDecodeEngine,
         time_fn: Optional[Callable[[], float]] = None,
+        add_bos: bool = True,
+        resolve: Optional[
+            Callable[[int], "ServingRequest"]
+        ] = None,
     ) -> None:
         self.worker_id = worker_id
         self.engine = engine
         engine.start(())
         engine.events.worker_id = worker_id
         engine.time_fn = time_fn
+        self.add_bos = add_bos
+        self.resolve = resolve
         self.busy_cycles = 0
         self._predicted: Dict[int, int] = {}
 
@@ -212,6 +230,115 @@ class ServingWorker:
             for request in scheduler.waiting
         )
         return remaining + queued
+
+    def _live_pairs(self) -> List[Tuple["ServingRequest", int]]:
+        """(serving request, remaining tokens) for every live slot.
+
+        Requires :attr:`resolve`; the same shape the front-end hands
+        :meth:`~repro.serving.dispatch.PreemptionPolicy.choose_victim`
+        at preemption time, so dispatch-side cost probes and the real
+        park see identical candidates.
+        """
+        assert self.resolve is not None
+        return [
+            (
+                self.resolve(slot.request.request_id),
+                slot.request.max_new_tokens - len(slot.response),
+            )
+            for slot in self.engine.scheduler.live
+        ]
+
+    def park_cost(
+        self, policy, arrival: "ServingRequest"
+    ) -> Optional[int]:
+        """Remaining tokens of the victim ``policy`` would park here.
+
+        Evaluates the pool's actual preemption policy against this
+        worker's live set, so a preemption-aware dispatcher routes on
+        the cost of the park that would really happen — not a proxy
+        that may name a victim the policy would never choose.  None
+        when the policy declines (no eligible victim) or the worker
+        has no serving-level resolver.
+        """
+        if self.resolve is None:
+            return None
+        live = self._live_pairs()
+        victim_id = policy.choose_victim(arrival, live)
+        if victim_id is None:
+            return None
+        return next(
+            remaining
+            for victim, remaining in live
+            if victim.request_id == victim_id
+        )
+
+    def victim_cost(
+        self, victim_classes: Optional[frozenset] = None
+    ) -> Optional[int]:
+        """Remaining-token cost of this worker's cheapest park victim.
+
+        The smallest remaining response cap across live slots whose
+        SLO class is in ``victim_classes`` — a policy-free proxy for
+        :meth:`park_cost` (which should be preferred when the pool's
+        preemption policy is at hand).  Restricting to the preemption
+        policy's victim classes matters: a slot the policy would never
+        park (an INTERACTIVE neighbour about to finish) must not make
+        this worker look cheap.  None when no eligible victim is
+        live, or when classes are requested but the worker has no
+        :attr:`resolve`.
+
+        Args:
+            victim_classes: eligible SLO class names (None = every
+                live slot counts).
+        """
+        costs = []
+        for slot in self.engine.scheduler.live:
+            if victim_classes is not None:
+                if self.resolve is None:
+                    return None
+                request_id = slot.request.request_id
+                name = self.resolve(request_id).slo.name
+                if name not in victim_classes:
+                    continue
+            costs.append(
+                slot.request.max_new_tokens - len(slot.response)
+            )
+        return min(costs) if costs else None
+
+    @property
+    def cheapest_victim_tokens(self) -> Optional[int]:
+        """Class-blind :meth:`victim_cost` (every live slot counts)."""
+        return self.victim_cost(None)
+
+    def prefix_match(self, prompt: Sequence[int]) -> int:
+        """Longest prefix this worker already holds for ``prompt``.
+
+        Probes the worker's prefix cache (when one is attached) and
+        every in-flight request's prompt — live, parked, resuming, and
+        queued; a queued same-prefix request is a co-admission
+        opportunity even before it prefills.  The client prompt is
+        lifted into the engine's token space (BOS applied) first.
+        Non-accounting: dispatch probes never skew hit rates.
+        """
+        tokens: List[int] = [int(t) for t in prompt]
+        if self.add_bos:
+            tokens = [BOS_ID] + tokens
+        best = 0
+        cache = self.engine.kv_cache
+        if cache is not None:
+            best = cache.longest_prefix(tokens)
+        scheduler = self.engine.scheduler
+        in_flight = [slot.request for slot in scheduler.live]
+        in_flight.extend(
+            slot.request for slot in scheduler.parked.values()
+        )
+        in_flight.extend(
+            slot.request for slot in scheduler.resuming_slots
+        )
+        in_flight.extend(scheduler.waiting)
+        for request in in_flight:
+            best = max(best, common_prefix_len(tokens, request.prompt))
+        return best
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -314,6 +441,17 @@ class ServingEngine:
             work stealing may still move queued members).  Grouped GRPO
             rollouts share their prompt by construction, so co-locating
             a group is the admission-side hook for prefix-cache reuse.
+        admission: pluggable per-worker admission policy
+            (:class:`~repro.specdec.control.FifoAdmission` — the
+            original behaviour — when omitted;
+            :class:`~repro.specdec.control.PrefixAwareAdmission`
+            co-admits shared-prefix requests so one prefill launch
+            serves the whole group).
+        kv_cache_tokens: when set, every worker gets its own
+            :class:`~repro.cache.manager.KVCacheManager` of this token
+            capacity — prefills of repeated prompts become cache hits,
+            and :class:`~repro.serving.dispatch.PrefixAffinityDispatch`
+            can route arrivals to the worker holding their prefix.
     """
 
     def __init__(
@@ -332,6 +470,8 @@ class ServingEngine:
         work_stealing: bool = True,
         add_bos: bool = True,
         group_affinity: bool = False,
+        admission: Optional[AdmissionPolicy] = None,
+        kv_cache_tokens: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise ConfigError(
@@ -341,6 +481,10 @@ class ServingEngine:
             raise ConfigError(
                 f"need one sd_manager per worker: got {len(sd_managers)} "
                 f"for {num_workers} workers"
+            )
+        if kv_cache_tokens is not None and kv_cache_tokens < 1:
+            raise ConfigError(
+                f"kv_cache_tokens must be >= 1, got {kv_cache_tokens}"
             )
         self.clock = VirtualClock()
         self.dispatch = dispatch or RoundRobinDispatch()
@@ -368,9 +512,22 @@ class ServingEngine:
                 sd_manager=(
                     self.managers[worker_id] if self.managers else None
                 ),
+                admission=admission,
+                kv_cache=(
+                    KVCacheManager(kv_cache_tokens)
+                    if kv_cache_tokens is not None
+                    else None
+                ),
             )
             worker = ServingWorker(
-                worker_id, engine, time_fn=lambda: self.clock.now
+                worker_id,
+                engine,
+                time_fn=lambda: self.clock.now,
+                add_bos=add_bos,
+                resolve=(
+                    lambda request_id:
+                    self.records[request_id].request
+                ),
             )
             engine.events.subscribe(self._events.append)
             self.workers.append(worker)
@@ -626,6 +783,7 @@ class ServingEngine:
     def report(self) -> ServingReport:
         """Aggregate the current records into a report."""
         capacity = self.workers[0].capacity
+        caches = [w.engine.kv_cache for w in self.workers]
         return ServingReport(
             records=[
                 self.records[request_id]
@@ -643,6 +801,20 @@ class ServingEngine:
                 None if capacity is None
                 else capacity * len(self.workers)
             ),
+            worker_prefix_hits=[
+                0 if cache is None else cache.stats.hits
+                for cache in caches
+            ],
+            worker_prefix_misses=[
+                0 if cache is None else cache.stats.misses
+                for cache in caches
+            ],
+            worker_prefill_launches=[
+                w.engine.prefill_launches for w in self.workers
+            ],
+            worker_prefill_saved=[
+                w.engine.prefill_launches_saved for w in self.workers
+            ],
         )
 
     # -- internals ---------------------------------------------------------
@@ -760,13 +932,7 @@ class ServingEngine:
         beneficiary = self.records[
             waiting[effective].request_id
         ].request
-        live = [
-            (
-                self.records[slot.request.request_id].request,
-                slot.request.max_new_tokens - len(slot.response),
-            )
-            for slot in worker.engine.scheduler.live
-        ]
+        live = worker._live_pairs()
         victim_id = self.preemption.choose_victim(beneficiary, live)
         if victim_id is None:
             return

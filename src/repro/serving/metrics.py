@@ -142,6 +142,14 @@ class ServingReport:
             to, rather than the aggregate ``utilization``.
         pool_slot_capacity: total live slots across the pool (None when
             per-worker capacity is unbounded).
+        worker_prefix_hits: per-worker exact prefix-cache hits (zeros
+            when no :class:`~repro.cache.manager.KVCacheManager` is
+            attached).
+        worker_prefix_misses: per-worker prefix-cache misses.
+        worker_prefill_launches: per-sequence prefill forwards each
+            worker actually computed.
+        worker_prefill_saved: prefill forwards each worker avoided
+            (cache hits + same-wave shared-prefix coalescing).
     """
 
     records: List[RequestRecord]
@@ -152,6 +160,10 @@ class ServingReport:
     policy: str = ""
     class_slot_cycles: Dict[str, int] = field(default_factory=dict)
     pool_slot_capacity: Optional[int] = None
+    worker_prefix_hits: List[int] = field(default_factory=list)
+    worker_prefix_misses: List[int] = field(default_factory=list)
+    worker_prefill_launches: List[int] = field(default_factory=list)
+    worker_prefill_saved: List[int] = field(default_factory=list)
 
     # -- slices ------------------------------------------------------------
 
@@ -235,6 +247,44 @@ class ServingReport:
         return [c / self.ticks for c in self.worker_busy_cycles]
 
     @property
+    def prefix_hit_rate(self) -> float:
+        """Pool-wide exact prefix-cache hit rate (0.0 with no lookups).
+
+        Hits over lookups across every worker's cache; same-wave
+        shared-prefix coalescing is not a cache consultation and is
+        accounted in :attr:`prefill_launches_saved` instead.
+        """
+        hits = sum(self.worker_prefix_hits)
+        lookups = hits + sum(self.worker_prefix_misses)
+        if not lookups:
+            return 0.0
+        return hits / lookups
+
+    def worker_prefix_hit_rates(self) -> List[float]:
+        """Per-worker exact prefix-cache hit rates."""
+        return [
+            hits / (hits + misses) if hits + misses else 0.0
+            for hits, misses in zip(
+                self.worker_prefix_hits, self.worker_prefix_misses
+            )
+        ]
+
+    @property
+    def prefill_launches(self) -> int:
+        """Per-sequence prefill forwards the pool computed."""
+        return sum(self.worker_prefill_launches)
+
+    @property
+    def prefill_launches_saved(self) -> int:
+        """Prefill forwards the pool avoided via the prefix cache.
+
+        Exact-prompt cache hits plus same-wave duplicates coalesced
+        into one launch per shared prefix — the amortisation headline
+        of the prefix-cache subsystem (0 when no cache is attached).
+        """
+        return sum(self.worker_prefill_saved)
+
+    @property
     def class_utilization(self) -> Dict[str, float]:
         """Fraction of the pool's slot capacity each SLO class decoded.
 
@@ -298,4 +348,7 @@ class ServingReport:
             "stolen": float(self.stolen),
             "expired": float(len(self.expired_records)),
             "preempted": float(self.preemptions),
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "prefill_launches": float(self.prefill_launches),
+            "prefill_launches_saved": float(self.prefill_launches_saved),
         }

@@ -20,8 +20,12 @@ from repro.specdec.batch_engine import (
     make_serving_request,
 )
 from repro.specdec.control import (
+    AdmissionPolicy,
+    AdmissionView,
     EngineControl,
     EventBus,
+    FifoAdmission,
+    PrefixAwareAdmission,
     RequestEvent,
     RequestEventKind,
 )
@@ -87,6 +91,10 @@ __all__ = [
     "EventBus",
     "RequestEvent",
     "RequestEventKind",
+    "AdmissionPolicy",
+    "AdmissionView",
+    "FifoAdmission",
+    "PrefixAwareAdmission",
     "SdCycleStats",
     "SdRunMetrics",
     "AcceptanceProfile",

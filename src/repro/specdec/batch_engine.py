@@ -59,7 +59,15 @@ Two properties are load-bearing:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 import numpy as np
 
@@ -68,7 +76,11 @@ from repro.errors import SpecDecodeError
 from repro.llm.model import TinyLM, contexts_from_sequences
 from repro.llm.sampler import sample_from_probs, temperature_probs
 from repro.llm.vocab import BOS_ID, EOS_ID
-from repro.specdec.control import EventBus, RequestEventKind
+from repro.specdec.control import (
+    AdmissionPolicy,
+    EventBus,
+    RequestEventKind,
+)
 from repro.specdec.engine import initial_hiddens
 from repro.specdec.linear import linear_decode_steps
 from repro.specdec.metrics import SdCycleStats, SdRunMetrics
@@ -82,6 +94,7 @@ from repro.specdec.strategy import SdStrategy
 from repro.specdec.tree import ChildMode, build_draft_tree, verify_trees
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.cache.manager import KVCacheManager
     from repro.rollout.adaptive import AdaptiveSdManager
 
 
@@ -154,6 +167,14 @@ class BatchedSpecDecodeEngine:
             once; 1 = fully sequential decoding).
         sd_manager: optional adaptive SD manager driven by the real
             live-batch size each cycle.
+        admission: pluggable admission policy on the scheduler's
+            WAITING -> LIVE edge (FIFO, the original behaviour, when
+            omitted).
+        kv_cache: optional per-worker prefix cache.  When attached, the
+            prefill stage serves exact-prompt matches from cache,
+            coalesces same-wave duplicates into one prefill row per
+            shared prefix, and pins each live slot's source entry so
+            eviction can never touch state a live request depends on.
     """
 
     def __init__(
@@ -166,6 +187,8 @@ class BatchedSpecDecodeEngine:
         use_tree: bool = True,
         max_batch_size: Optional[int] = None,
         sd_manager: Optional["AdaptiveSdManager"] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        kv_cache: Optional["KVCacheManager"] = None,
     ) -> None:
         if strategy is None and sd_manager is None:
             raise SpecDecodeError(
@@ -179,6 +202,8 @@ class BatchedSpecDecodeEngine:
         self.use_tree = use_tree
         self.max_batch_size = max_batch_size
         self.sd_manager = sd_manager
+        self.admission = admission
+        self.kv_cache = kv_cache
         #: Lifecycle event stream (the EngineControl contact surface).
         self.events = EventBus()
         #: Optional virtual-time source stamped onto events (wired by
@@ -190,24 +215,40 @@ class BatchedSpecDecodeEngine:
         self._metrics = SdRunMetrics()
         self._target_steps = 0
         self._reports: List[BatchCycleReport] = []
+        self._prefill_launches = 0
+        self._prefill_saved = 0
+        #: request_id -> cache key currently pinned by its live slot.
+        self._cache_keys: Dict[int, Tuple[int, ...]] = {}
+        #: request_id -> cache key released at park, awaiting resume.
+        self._parked_keys: Dict[int, Tuple[int, ...]] = {}
 
     # -- incremental session API -------------------------------------------
 
     def start(self, requests: Sequence[SequenceRequest] = ()) -> None:
         """Open an incremental decoding session.
 
-        Resets metrics, the launch counter, the cycle trail, and (when
+        Resets metrics, the launch counters, the cycle trail, and (when
         attached) the adaptive manager's per-rollout activation state.
-        Further requests can be :meth:`admit`-ted between cycles.
+        Cache *refs* held by the previous session are released, but the
+        cache's contents survive — a warm worker-lifetime cache is the
+        point, and serving cached hand-offs is byte-identical to
+        recomputing them.  Further requests can be :meth:`admit`-ted
+        between cycles.
         """
+        self._release_all_cache_refs()
         self._scheduler = ContinuousBatchScheduler(
-            list(requests), self.max_batch_size
+            list(requests),
+            self.max_batch_size,
+            admission=self.admission,
+            cache=self.kv_cache,
         )
         if self.sd_manager is not None:
             self.sd_manager.reset()
         self._metrics = SdRunMetrics()
         self._target_steps = 0
         self._reports = []
+        self._prefill_launches = 0
+        self._prefill_saved = 0
         self.events.clear()
 
     @property
@@ -252,6 +293,27 @@ class BatchedSpecDecodeEngine:
         return self._target_steps
 
     @property
+    def prefill_launches(self) -> int:
+        """Per-sequence prefill forwards computed this session.
+
+        One per prefilled row through the batched prefill forward — the
+        quantity prefix caching amortises (``target_steps`` counts the
+        batched *waves*, which stay 0-or-1 per admission cycle).
+        """
+        return self._prefill_launches
+
+    @property
+    def prefill_launches_saved(self) -> int:
+        """Prefill forwards avoided this session.
+
+        Counts exact-prompt cache hits plus same-wave duplicates that
+        shared one leader's prefill row (one launch per shared prefix
+        instead of one per group member).  Always 0 without an attached
+        :class:`~repro.cache.manager.KVCacheManager`.
+        """
+        return self._prefill_saved
+
+    @property
     def metrics(self) -> SdRunMetrics:
         """The open session's running metrics."""
         return self._metrics
@@ -285,6 +347,7 @@ class BatchedSpecDecodeEngine:
         """
         slot = self.scheduler.cancel(request_id)
         if slot is not None:
+            self._drop_cache_ref(request_id)
             self._emit(RequestEventKind.CANCELLED, request_id)
         return slot
 
@@ -292,6 +355,7 @@ class BatchedSpecDecodeEngine:
         """Retire a request as deadline-expired (cancel's SLO sibling)."""
         slot = self.scheduler.expire(request_id)
         if slot is not None:
+            self._drop_cache_ref(request_id)
             self._emit(RequestEventKind.EXPIRED, request_id)
         return slot
 
@@ -311,6 +375,13 @@ class BatchedSpecDecodeEngine:
                 preemption from an operator's explicit park).
         """
         slot = self.scheduler.park(request_id)
+        # A parked slot no longer pins its prefix-cache entry (the
+        # slot owns a private copy of its hand-off); the key is kept
+        # aside so resume re-acquires the ref if the entry survived.
+        key = self._cache_keys.pop(request_id, None)
+        if key is not None and self.kv_cache is not None:
+            self.kv_cache.release(key)
+            self._parked_keys[request_id] = key
         self._emit(
             RequestEventKind.PREEMPTED
             if preempted
@@ -377,6 +448,7 @@ class BatchedSpecDecodeEngine:
         # re-prefilled (that is what keeps them byte-identical).
         self._target_steps += self._prefill(admitted)
         for slot in resumed:
+            self._reacquire_cache_ref(slot.request.request_id)
             self._emit(
                 RequestEventKind.RESUMED, slot.request.request_id
             )
@@ -427,6 +499,7 @@ class BatchedSpecDecodeEngine:
             verify_rows = batch
         retired = scheduler.retire_finished()
         for slot in retired:
+            self._drop_cache_ref(slot.request.request_id)
             self._emit(
                 RequestEventKind.FINISHED, slot.request.request_id
             )
@@ -531,15 +604,106 @@ class BatchedSpecDecodeEngine:
 
         All admissible prefixes are pushed through ONE batched target
         forward; returns the number of launches spent (0 or 1).
+
+        With an attached :class:`~repro.cache.manager.KVCacheManager`
+        the stage computes **one prefill row per distinct prompt**:
+        exact-prompt cache hits are served a copy of the cached
+        hand-off (the hand-off is a pure function of the prompt, so
+        this is byte-identical to recomputing), same-wave duplicates —
+        a co-admitted GRPO group — share one leader row, and every
+        slot pins the entry it was served from so eviction can never
+        reach live state.
         """
         if not admitted:
             return 0
-        hiddens = initial_hiddens(
-            self.target, [slot.sequence for slot in admitted]
-        )
-        for slot, hidden in zip(admitted, hiddens):
+        cache = self.kv_cache
+        if cache is None:
+            hiddens = initial_hiddens(
+                self.target, [slot.sequence for slot in admitted]
+            )
+            for slot, hidden in zip(admitted, hiddens):
+                slot.hidden = hidden
+            self._prefill_launches += sum(
+                1 for h in hiddens if h is not None
+            )
+            return int(any(h is not None for h in hiddens))
+        cycle = self.scheduler.cycle
+        keys = [tuple(slot.sequence) for slot in admitted]
+        hiddens = [None] * len(admitted)  # type: List[Optional[np.ndarray]]
+        leaders: Dict[Tuple[int, ...], int] = {}
+        need: List[int] = []
+        for index, key in enumerate(keys):
+            if len(key) < 2:
+                continue  # no hand-off exists for length-1 prefixes
+            if key in leaders:
+                # Same-wave duplicate: rides the leader's prefill row
+                # (not a cache consultation — no hit/miss recorded).
+                self._prefill_saved += 1
+                continue
+            cached = cache.lookup(key, cycle)
+            if cached is not None:
+                hiddens[index] = cached
+                self._prefill_saved += 1
+            else:
+                leaders[key] = index
+                need.append(index)
+        if need:
+            computed = initial_hiddens(
+                self.target, [admitted[i].sequence for i in need]
+            )
+            for index, hidden in zip(need, computed):
+                hiddens[index] = hidden
+            self._prefill_launches += sum(
+                1 for h in computed if h is not None
+            )
+            for index in need:
+                if hiddens[index] is not None:
+                    cache.insert(keys[index], hiddens[index], cycle)
+        for index, key in enumerate(keys):
+            if hiddens[index] is None and key in leaders:
+                leader_hidden = hiddens[leaders[key]]
+                if leaders[key] != index and leader_hidden is not None:
+                    hiddens[index] = leader_hidden.copy()
+        for slot, key, hidden in zip(admitted, keys, hiddens):
             slot.hidden = hidden
-        return int(any(h is not None for h in hiddens))
+            if hidden is not None and cache.acquire(key):
+                self._cache_keys[slot.request.request_id] = key
+        return int(
+            any(hiddens[index] is not None for index in need)
+        )
+
+    # -- prefix-cache ref lifecycle ----------------------------------------
+
+    def _drop_cache_ref(self, request_id: int) -> None:
+        """Release a retired/cancelled request's cache pin (if any)."""
+        self._parked_keys.pop(request_id, None)
+        key = self._cache_keys.pop(request_id, None)
+        if key is not None and self.kv_cache is not None:
+            self.kv_cache.release(key)
+
+    def _reacquire_cache_ref(self, request_id: int) -> None:
+        """Re-pin a resumed request's entry (skipped when evicted).
+
+        A parked request's entry is unpinned and may be evicted under
+        capacity pressure; the slot still owns its private copy of the
+        hand-off, so a lost entry costs a future cache hit, never
+        correctness.
+        """
+        key = self._parked_keys.pop(request_id, None)
+        if (
+            key is not None
+            and self.kv_cache is not None
+            and self.kv_cache.acquire(key)
+        ):
+            self._cache_keys[request_id] = key
+
+    def _release_all_cache_refs(self) -> None:
+        """Release every pin held by the (previous) session."""
+        if self.kv_cache is not None:
+            for key in self._cache_keys.values():
+                self.kv_cache.release(key)
+        self._cache_keys = {}
+        self._parked_keys = {}
 
     def _sd_cycle(
         self,

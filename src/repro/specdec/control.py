@@ -22,6 +22,13 @@ engine and the serving layer speak:
   serving layer, the virtual-time stamp — the observability surface the
   preemption benchmarks and the closed-loop RL <-> serving work build
   on.
+* :class:`AdmissionPolicy` — the pluggable WAITING -> LIVE edge,
+  mirroring the serving layer's dispatch/preemption policies:
+  :class:`FifoAdmission` is the byte-identical default,
+  :class:`PrefixAwareAdmission` co-admits requests sharing a cached or
+  in-flight prompt prefix (:class:`~repro.cache.manager.KVCacheManager`)
+  into one wave so the engine issues one prefill launch per shared
+  prefix instead of one per group member.
 
 Park/resume semantics (the new lifecycle edge): parking stashes the live
 slot whole — its committed tokens, its exact target hidden hand-off and
@@ -44,12 +51,27 @@ different proposals.
 
 from __future__ import annotations
 
+import abc
 import enum
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Protocol, runtime_checkable
+from typing import (
+    Callable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    TYPE_CHECKING,
+    runtime_checkable,
+)
 
+from repro.cache.prefix_index import common_prefix_len
 from repro.drafter.base import Drafter
-from repro.specdec.scheduler import SequenceRequest, SequenceSlot
+from repro.errors import SpecDecodeError
+
+if TYPE_CHECKING:  # pragma: no cover - types only (import cycle guard:
+    # the scheduler imports the admission surface defined below)
+    from repro.cache.manager import KVCacheManager
+    from repro.specdec.scheduler import SequenceRequest, SequenceSlot
 
 
 class RequestEventKind(enum.Enum):
@@ -188,3 +210,189 @@ class EngineControl(Protocol):
     def swap_drafter(self, drafter: Drafter) -> None:
         """Replace the drafter at a cycle boundary (zero downtime)."""
         ...
+
+
+# -- admission (the WAITING -> LIVE edge, made pluggable) ------------------
+
+
+@dataclass(frozen=True)
+class AdmissionView:
+    """Read-only snapshot the scheduler hands an admission policy.
+
+    Attributes:
+        waiting: the waiting queue in FIFO order (urgent lane first —
+            the scheduler maintains that invariant at push time).
+        capacity: free live slots this wave (resume-queued slots
+            already subtracted); None means unbounded.
+        live: live slots currently decoding (their ``request.prompt``
+            is the in-flight prefix set).
+        urgent: request ids in the urgent admission lane.
+        cache: the engine's prefix cache, when one is attached (probe
+            with ``longest_prefix`` — non-accounting).
+        cycle: the scheduler's cycle counter.
+    """
+
+    waiting: Tuple["SequenceRequest", ...]
+    capacity: Optional[int]
+    live: Tuple["SequenceSlot", ...]
+    urgent: frozenset = frozenset()
+    cache: Optional["KVCacheManager"] = None
+    cycle: int = 0
+
+    @property
+    def limit(self) -> int:
+        """Requests admissible this wave (capacity clamped to queue)."""
+        if self.capacity is None:
+            return len(self.waiting)
+        return min(self.capacity, len(self.waiting))
+
+
+class AdmissionPolicy(abc.ABC):
+    """Chooses WHICH waiting requests enter live slots each wave.
+
+    The pluggable protocol on the scheduler's explicit WAITING -> LIVE
+    edge, mirroring the serving layer's
+    :class:`~repro.serving.dispatch.DispatchPolicy` /
+    :class:`~repro.serving.dispatch.PreemptionPolicy`: the scheduler
+    owns the *mechanics* of admission (slot creation, lifecycle
+    transitions, wait accounting) and delegates the *selection* here.
+
+    Because every request carries a private random stream and batched
+    target rows are row-identical, admission order changes latency and
+    prefill batching but never any request's committed tokens (under a
+    static strategy) — which is what lets a policy reorder admissions
+    to coalesce shared-prefix prefills without touching outputs.
+
+    Contract: :meth:`select` returns indices into ``view.waiting`` —
+    unique, in admission order, at most ``view.limit`` of them.  The
+    scheduler validates and raises on violations.  Returning fewer than
+    ``view.limit`` indices deliberately leaves slots empty this wave
+    (legal, but a policy that starves the queue will stall the engine —
+    always admit the FIFO head when nothing better exists).
+    """
+
+    #: Label used in reports and benchmark tables.
+    name: str = "admission"
+
+    @abc.abstractmethod
+    def select(self, view: AdmissionView) -> List[int]:
+        """Indices of the waiting requests to admit, in order."""
+
+
+class FifoAdmission(AdmissionPolicy):
+    """Strict queue-order admission (the default; pre-policy behaviour).
+
+    Byte-identical to the scheduler's original hard-coded loop: take
+    from the front while capacity remains.  The urgent lane is already
+    at the queue front, so urgent arrivals keep their priority.
+    """
+
+    name = "fifo"
+
+    def select(self, view: AdmissionView) -> List[int]:
+        return list(range(view.limit))
+
+
+class PrefixAwareAdmission(AdmissionPolicy):
+    """Co-admit requests sharing a cached or in-flight prompt prefix.
+
+    Grouped GRPO rollouts share their prompt by construction, yet FIFO
+    admission can scatter a group across admission waves — each member
+    then pays its own prefill launch.  This policy pulls waiting
+    requests whose prompt matches an *anchor* — a request already
+    selected this wave, a live slot's prompt, or a cached prefix —
+    forward into the same wave, so the engine's prefill stage
+    coalesces them into one launch per shared prefix.  Matching is
+    exact by default (the only reuse the prefill stage can cash in
+    today); ``min_shared`` opts into partial-prefix pull-forward.
+
+    Fairness invariants:
+
+    * urgent-lane requests are admitted first, in FIFO order, before
+      any prefix pull-forward — prefix batching must never delay
+      latency-critical traffic;
+    * the FIFO head is admitted unconditionally every wave (a
+      unique-prompt request at the head can never be starved by a
+      stream of later-queued sharers), remaining capacity prefers the
+      earliest-queued prefix-sharer, and with no sharers the policy
+      degrades to FIFO exactly.
+
+    Args:
+        min_shared: None (default) counts only *exact* prompt matches
+            as sharers — the matches the engine's prefill stage can
+            actually coalesce into one launch (the hidden hand-off
+            depends on every prompt token), so co-admission never
+            reorders the queue without a prefill saving to show for
+            it.  Set an integer to also pull forward requests sharing
+            at least that many leading tokens (BOS included when the
+            engine applies one): a forward-looking mode for the
+            ROADMAP's block-granular partial-prefix reuse, which today
+            buys batching locality but no launch savings.
+    """
+
+    name = "prefix-aware"
+
+    def __init__(self, min_shared: Optional[int] = None) -> None:
+        if min_shared is not None and min_shared < 1:
+            raise SpecDecodeError(
+                f"min_shared must be >= 1 when set, got {min_shared}"
+            )
+        self.min_shared = min_shared
+
+    def select(self, view: AdmissionView) -> List[int]:
+        limit = view.limit
+        if not limit:
+            return []
+        waiting = view.waiting
+        prompts = [tuple(request.prompt) for request in waiting]
+        selected: List[int] = []
+        remaining = list(range(len(waiting)))
+        # 1) Urgent lane first, strictly FIFO (it sits at the front).
+        while (
+            remaining
+            and len(selected) < limit
+            and waiting[remaining[0]].request_id in view.urgent
+        ):
+            selected.append(remaining.pop(0))
+        # 2) Anchors: this wave's picks + in-flight prompts; the cache
+        #    is probed directly (it already indexes its own prefixes).
+        anchors = [prompts[index] for index in selected]
+        anchors.extend(tuple(slot.request.prompt) for slot in view.live)
+
+        def shares(prompt: Tuple[int, ...]) -> bool:
+            if self.min_shared is None:  # exact-reuse mode (default)
+                if view.cache is not None and view.cache.contains(
+                    prompt
+                ):
+                    return True
+                return any(anchor == prompt for anchor in anchors)
+            if (
+                view.cache is not None
+                and view.cache.longest_prefix(prompt) >= self.min_shared
+            ):
+                return True
+            return any(
+                common_prefix_len(prompt, anchor) >= self.min_shared
+                for anchor in anchors
+            )
+
+        # 3) The FIFO head goes unconditionally (starvation guard: a
+        #    unique-prompt head must not be passed over forever by a
+        #    stream of later-queued sharers)...
+        if remaining and len(selected) < limit:
+            head = remaining.pop(0)
+            selected.append(head)
+            anchors.append(prompts[head])
+        # 4) ...then fill: earliest prefix-sharer, else FIFO order.
+        while remaining and len(selected) < limit:
+            pick = None
+            for index in remaining:
+                if shares(prompts[index]):
+                    pick = index
+                    break
+            if pick is None:
+                pick = remaining[0]
+            remaining.remove(pick)
+            selected.append(pick)
+            anchors.append(prompts[pick])
+        return selected

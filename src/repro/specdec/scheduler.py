@@ -9,6 +9,14 @@ on EOS or at their length cap — freeing the slot for the next waiting
 request.  This module owns that lifecycle so the decode engine
 (:mod:`repro.specdec.batch_engine`) can focus on the per-cycle math.
 
+WHICH waiting requests go live each wave is delegated to a pluggable
+:class:`~repro.specdec.control.AdmissionPolicy` (the WAITING -> LIVE
+edge made explicit): :class:`~repro.specdec.control.FifoAdmission`
+reproduces the original front-of-queue loop byte-for-byte and is the
+default; :class:`~repro.specdec.control.PrefixAwareAdmission` co-admits
+requests sharing a cached or in-flight prompt prefix so the engine's
+prefill stage coalesces them into one launch per shared prefix.
+
 Since the serving front-end (:mod:`repro.serving`) drives engines
 cycle-at-a-time, the scheduler also supports the *online* lifecycle:
 requests can be :meth:`~ContinuousBatchScheduler.push`-ed while decoding
@@ -55,12 +63,28 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 import numpy as np
 
 from repro.errors import SpecDecodeError
+from repro.specdec.control import (
+    AdmissionPolicy,
+    AdmissionView,
+    FifoAdmission,
+)
 from repro.specdec.strategy import SdStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.cache.manager import KVCacheManager
 
 
 class RequestLifecycle(enum.Enum):
@@ -223,25 +247,44 @@ class BatchCycleReport:
 
 
 class ContinuousBatchScheduler:
-    """FIFO admission into a bounded pool of live decoding slots.
+    """Policy-driven admission into a bounded pool of live decoding slots.
 
     Args:
         requests: generation requests in submission order (more can be
             :meth:`push`-ed later).
         max_batch_size: live-slot capacity (None = unbounded, i.e. every
             request decodes from cycle one; 1 = fully sequential).
+        admission: the :class:`~repro.specdec.control.AdmissionPolicy`
+            selecting WHICH waiting requests enter free slots each wave
+            (:class:`~repro.specdec.control.FifoAdmission` — the
+            original hard-coded behaviour, byte-identical — when
+            omitted).
+        cache: optional per-worker prefix cache exposed to the
+            admission policy through its view (the scheduler itself
+            never touches it — prefill reuse lives in the engine).
     """
 
     def __init__(
         self,
         requests: Sequence[SequenceRequest] = (),
         max_batch_size: Optional[int] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        cache: Optional["KVCacheManager"] = None,
     ) -> None:
         if max_batch_size is not None and max_batch_size < 1:
             raise SpecDecodeError(
                 f"max_batch_size must be >= 1, got {max_batch_size}"
             )
+        if admission is not None and not isinstance(
+            admission, AdmissionPolicy
+        ):
+            raise SpecDecodeError(
+                f"admission must be an AdmissionPolicy, "
+                f"got {type(admission)!r}"
+            )
         self.max_batch_size = max_batch_size
+        self.admission: AdmissionPolicy = admission or FifoAdmission()
+        self.cache = cache
         self.waiting: Deque[SequenceRequest] = deque()
         self._urgent: set = set()  # waiting ids in the urgent lane
         self.live: List[SequenceSlot] = []
@@ -415,19 +458,64 @@ class ContinuousBatchScheduler:
         return readmitted
 
     def admit(self) -> List[SequenceSlot]:
-        """Move waiting requests into free slots (FIFO), returning them.
+        """Move policy-selected waiting requests into free slots.
+
+        The admission policy picks WHICH waiting requests go live this
+        wave (and in what order — :class:`~repro.specdec.control.
+        FifoAdmission` reproduces the original front-of-queue loop
+        byte-for-byte); this method owns the mechanics: capacity
+        accounting, slot creation, wait bookkeeping, and the lifecycle
+        transition.
 
         Slots that a queued resume will take are NOT free to the
         waiting FIFO: resumed sequences re-enter ahead of fresh
         admissions by contract, so admission reserves their capacity
         even when :meth:`readmit_parked` has not run yet this cycle.
         """
+        if not self.waiting:
+            return []
+        capacity: Optional[int] = None
+        if self.max_batch_size is not None:
+            capacity = self.max_batch_size - len(self.live) - len(
+                self._resuming
+            )
+            if capacity <= 0:
+                return []
+        view = AdmissionView(
+            waiting=tuple(self.waiting),
+            capacity=capacity,
+            live=tuple(self.live),
+            urgent=frozenset(self._urgent),
+            cache=self.cache,
+            cycle=self._cycle,
+        )
+        indices = list(self.admission.select(view))
+        chosen: set = set()
+        for index in indices:
+            if not 0 <= index < len(view.waiting):
+                raise SpecDecodeError(
+                    f"admission policy {self.admission.name!r} selected "
+                    f"index {index} of {len(view.waiting)} waiting"
+                )
+            if index in chosen:
+                raise SpecDecodeError(
+                    f"admission policy {self.admission.name!r} selected "
+                    f"index {index} twice"
+                )
+            chosen.add(index)
+        if capacity is not None and len(indices) > capacity:
+            raise SpecDecodeError(
+                f"admission policy {self.admission.name!r} selected "
+                f"{len(indices)} requests for {capacity} free slots"
+            )
+        self.waiting = deque(
+            request
+            for index, request in enumerate(view.waiting)
+            if index not in chosen
+        )
         admitted: List[SequenceSlot] = []
-        while self.waiting and (
-            self.max_batch_size is None
-            or len(self.live) + len(self._resuming) < self.max_batch_size
-        ):
-            request = self.waiting.popleft()
+        for index in indices:
+            request = view.waiting[index]
             self._urgent.discard(request.request_id)
             slot = SequenceSlot(
                 request=request,

@@ -46,6 +46,7 @@ from repro.serving.dispatch import (
 from repro.rollout.acceptance import ParametricAcceptance
 from repro.rollout.adaptive import AdaptiveSdConfig, AdaptiveSdManager
 from repro.serving.frontend import ServingEngine
+from repro.specdec.control import AdmissionPolicy
 from repro.specdec.strategy import SdStrategy
 from repro.systems.base import RlSystem, SystemStepReport
 
@@ -109,6 +110,8 @@ class _AdaptiveSdSystem(RlSystem):
         share_bandit: bool = True,
         group_affinity: bool = False,
         strategy: Optional[SdStrategy] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        kv_cache_tokens: Optional[int] = None,
     ) -> ServingEngine:
         """Online serving front-end mirroring this system's SD policy.
 
@@ -140,6 +143,12 @@ class _AdaptiveSdSystem(RlSystem):
                 adaptive managers are NOT built and every cycle runs
                 this strategy (what byte-identity guarantees need —
                 elastic SD legitimately depends on the live batch).
+            admission: pluggable admission policy shared by every
+                worker's scheduler
+                (:class:`~repro.specdec.control.PrefixAwareAdmission`
+                co-admits shared-prefix requests; FIFO when omitted).
+            kv_cache_tokens: per-worker prefix-cache capacity in
+                prompt tokens (no cache when omitted).
         """
         managers: List[AdaptiveSdManager] = []
         if strategy is None:
@@ -165,6 +174,8 @@ class _AdaptiveSdSystem(RlSystem):
             preemption=preemption,
             work_stealing=work_stealing,
             group_affinity=group_affinity,
+            admission=admission,
+            kv_cache_tokens=kv_cache_tokens,
         )
 
     def publish_drafter(
@@ -205,6 +216,8 @@ class _AdaptiveSdSystem(RlSystem):
         preemption: Optional[PreemptionPolicy] = None,
         work_stealing: bool = True,
         group_affinity: bool = True,
+        admission: Optional[AdmissionPolicy] = None,
+        kv_cache_tokens: Optional[int] = None,
         spot_trainer: Optional["SpotTrainer"] = None,
         spot_updates_per_round: int = 20,
         rl_rng: Optional[np.random.Generator] = None,
@@ -242,6 +255,12 @@ class _AdaptiveSdSystem(RlSystem):
             work_stealing: rebalance queued requests between cycles.
             group_affinity: co-locate each GRPO group on one worker
                 (on by default — groups share prompts by construction).
+            admission: pluggable admission policy
+                (:class:`~repro.specdec.control.PrefixAwareAdmission`
+                + ``kv_cache_tokens`` make each co-located GRPO group
+                pay ONE prefill launch instead of one per member).
+            kv_cache_tokens: per-worker prefix-cache capacity in
+                prompt tokens (no cache when omitted).
             spot_trainer: optional spot drafter trainer closing the
                 refresh loop.
             spot_updates_per_round: drafter update budget per round.
@@ -271,6 +290,8 @@ class _AdaptiveSdSystem(RlSystem):
             work_stealing=work_stealing,
             group_affinity=group_affinity,
             strategy=strategy,
+            admission=admission,
+            kv_cache_tokens=kv_cache_tokens,
         )
         backend = ServingRolloutBackend(
             frontend, group_size=rl_config.group_size

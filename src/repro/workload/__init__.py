@@ -30,6 +30,7 @@ from repro.workload.traces import (
     TraceStep,
     TrainingTrace,
     mixed_serving_trace,
+    shared_prefix_trace,
     synthesize_trace,
 )
 
@@ -49,4 +50,5 @@ __all__ = [
     "TrainingTrace",
     "synthesize_trace",
     "mixed_serving_trace",
+    "shared_prefix_trace",
 ]

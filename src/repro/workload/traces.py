@@ -14,6 +14,13 @@ INTERACTIVE Poisson stream over a floor of long BATCH-class rollout
 requests — the co-located RL + serving workload where background
 rollouts soak whatever capacity the latency-critical traffic leaves
 idle.
+
+:func:`shared_prefix_trace` shapes the interactive side for the
+prefix-cache subsystem: arrivals drawn from a small family of prompt
+prefixes (system-prompt / few-shot-template reuse), each optionally
+extended with a per-request suffix — the workload where
+prefix-affinity dispatch and prefix-aware admission pay off outside
+grouped rollouts.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from repro.workload.lengths import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.serving.request import ServingRequest
+    from repro.serving.request import ServingRequest, SloClass
 
 
 @dataclass(frozen=True)
@@ -238,3 +245,96 @@ def mixed_serving_trace(
         floor + stream,
         key=lambda r: (r.arrival_time, r.request_id),
     )
+
+
+def shared_prefix_trace(
+    rng: np.random.Generator,
+    vocab_size: int,
+    num_requests: int,
+    num_prefixes: int,
+    prefix_len: int = 4,
+    suffix_len: int = 0,
+    mean_interarrival: float = 2.0,
+    max_new_tokens: Optional[LengthModel] = None,
+    slo: Optional["SloClass"] = None,
+    start_id: int = 0,
+) -> List["ServingRequest"]:
+    """Synthesize an interactive trace with shared prompt prefixes.
+
+    Real interactive traffic repeats prompt prefixes constantly —
+    system prompts, few-shot templates, retried questions.  This trace
+    reproduces that shape: ``num_prefixes`` distinct prefix families
+    are drawn once, and every arrival picks one (uniformly) and
+    appends ``suffix_len`` fresh tokens.  With ``suffix_len=0`` whole
+    prompts repeat — the exact-reuse case a
+    :class:`~repro.cache.manager.KVCacheManager` turns into skipped
+    prefill launches; with a positive suffix, prompts share only their
+    head — the partial-match case
+    :class:`~repro.serving.dispatch.PrefixAffinityDispatch` routes on.
+
+    Args:
+        rng: master generator (one seed fixes the whole trace).
+        vocab_size: token ids drawn from ``[3, vocab_size)``.
+        num_requests: arrivals in the trace.
+        num_prefixes: distinct prefix families.
+        prefix_len: tokens per shared prefix.
+        suffix_len: fresh per-request tokens after the prefix.
+        mean_interarrival: mean ticks between Poisson arrivals.
+        max_new_tokens: response-length model (short lognormal when
+            omitted).
+        slo: SLO class of every request (INTERACTIVE when omitted).
+        start_id: first request id.
+
+    Returns:
+        Requests sorted by arrival time.
+    """
+    from repro.serving.request import INTERACTIVE, ServingRequest
+
+    if num_requests < 1:
+        raise ConfigError(
+            f"num_requests must be >= 1, got {num_requests}"
+        )
+    if num_prefixes < 1:
+        raise ConfigError(
+            f"num_prefixes must be >= 1, got {num_prefixes}"
+        )
+    if prefix_len < 1:
+        raise ConfigError(f"prefix_len must be >= 1, got {prefix_len}")
+    if suffix_len < 0:
+        raise ConfigError(
+            f"suffix_len must be >= 0, got {suffix_len}"
+        )
+    if mean_interarrival <= 0:
+        raise ConfigError("mean_interarrival must be positive")
+    lengths = max_new_tokens or LognormalLengths(
+        median=5.0, sigma=0.4, cap=12
+    )
+    slo = slo or INTERACTIVE
+    prefixes = [
+        [int(t) for t in rng.integers(3, vocab_size, size=prefix_len)]
+        for _ in range(num_prefixes)
+    ]
+    gaps = rng.exponential(mean_interarrival, size=num_requests)
+    arrivals = np.cumsum(gaps) - gaps[0]
+    picks = rng.integers(0, num_prefixes, size=num_requests)
+    caps = lengths.sample(rng, num_requests)
+    requests: List["ServingRequest"] = []
+    for i in range(num_requests):
+        prompt = list(prefixes[int(picks[i])])
+        if suffix_len:
+            prompt.extend(
+                int(t)
+                for t in rng.integers(3, vocab_size, size=suffix_len)
+            )
+        requests.append(
+            ServingRequest(
+                request_id=start_id + i,
+                prompt=prompt,
+                max_new_tokens=int(caps[i]),
+                arrival_time=float(arrivals[i]),
+                slo=slo,
+                predicted_length=int(caps[i]),
+                seed=int(rng.integers(0, np.iinfo(np.int64).max)),
+            )
+        )
+    return requests
