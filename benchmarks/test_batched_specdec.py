@@ -6,6 +6,12 @@ sum over sequences.  Expected shape: committed tokens identical to
 sequential decoding at every batch size (losslessness is scheduling-
 independent), launch count strictly below the sequential sum from batch 4
 up, and the launch amortisation growing with batch size.
+
+The flat tensor-tree build amortises the *drafter* the same way: one
+batched ``propose_batch``/``extend_batch`` per tree depth for the whole
+live batch, so drafter launches per cycle scale with ``draft_depth``,
+not with ``live x nodes``.  The second benchmark pins that shape in both
+child modes at batch 8 along with byte-identical outputs.
 """
 
 from __future__ import annotations
@@ -32,14 +38,24 @@ def _prompts(target, count, seed=11):
     ]
 
 
-def _run(target, drafter, prompts, max_batch_size, seed=23):
+def _run(
+    target, drafter, prompts, max_batch_size, seed=23,
+    child_mode="sample",
+):
     started = time.perf_counter()
     out = speculative_generate(
         target, drafter, prompts, MAX_NEW_TOKENS, TEMPERATURE,
         np.random.default_rng(seed), strategy=STRATEGY,
-        max_batch_size=max_batch_size,
+        max_batch_size=max_batch_size, child_mode=child_mode,
     )
     return out, time.perf_counter() - started
+
+
+def _draft_launches(out):
+    """(issued, saved) drafter launches summed over an output's cycles."""
+    issued = sum(r.draft_launches for r in out.cycle_reports)
+    saved = sum(r.draft_launches_saved for r in out.cycle_reports)
+    return issued, saved
 
 
 def test_batched_specdec(benchmark):
@@ -60,6 +76,14 @@ def test_batched_specdec(benchmark):
     for batch in BATCHES:
         sequential, seq_s, batched, bat_s = grid[batch]
         tokens = sum(batched.response_lengths)
+        draft_issued, draft_saved = _draft_launches(batched)
+        sd_cycles = max(
+            1,
+            sum(
+                1 for r in batched.cycle_reports
+                if r.sd_active and r.live_batch
+            ),
+        )
         rows.append(
             [
                 batch,
@@ -67,6 +91,9 @@ def test_batched_specdec(benchmark):
                 sequential.target_steps,
                 batched.target_steps,
                 f"{sequential.target_steps / batched.target_steps:.2f}x",
+                draft_issued,
+                f"{draft_issued / sd_cycles:.1f}",
+                f"{(draft_issued + draft_saved) / max(1, draft_issued):.1f}x",
                 f"{seq_s * 1e3:.1f}ms",
                 f"{bat_s * 1e3:.1f}ms",
                 "yes" if batched.responses == sequential.responses
@@ -78,7 +105,8 @@ def test_batched_specdec(benchmark):
         format_table(
             [
                 "batch", "tokens", "seq launches", "batched launches",
-                "launch amort", "seq wall", "batched wall", "identical",
+                "launch amort", "draft launches", "draft/cycle",
+                "draft amort", "seq wall", "batched wall", "identical",
             ],
             rows,
         ),
@@ -99,3 +127,72 @@ def test_batched_specdec(benchmark):
         for b in BATCHES
     ]
     assert amort[-1] > amort[1] > 1.0
+
+
+def test_draft_launch_amortisation(benchmark):
+    """Flat tree drafting: O(draft_depth) drafter launches per cycle.
+
+    At batch 8 the lock-step build must (a) commit tokens byte-identical
+    to sequential decoding in BOTH child modes, (b) keep every cycle's
+    drafter launches bounded by the tree depth — not by live x nodes —
+    and (c) amortise at least 4x versus per-node drafting.
+    """
+    target, drafter, _ = trained_substrate()
+    prompts = _prompts(target, 8)
+
+    def sweep():
+        return {
+            mode: (
+                _run(target, drafter, prompts, 1, child_mode=mode)[0],
+                _run(target, drafter, prompts, None, child_mode=mode)[0],
+            )
+            for mode in ("sample", "topk")
+        }
+
+    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for mode, (sequential, batched) in grid.items():
+        issued, saved = _draft_launches(batched)
+        sd_reports = [
+            r for r in batched.cycle_reports
+            if r.sd_active and r.live_batch
+        ]
+        per_cycle_max = max(r.draft_launches for r in sd_reports)
+        rows.append(
+            [
+                mode,
+                "yes" if batched.responses == sequential.responses
+                else "NO",
+                issued,
+                saved,
+                f"{(issued + saved) / issued:.1f}x",
+                per_cycle_max,
+            ]
+        )
+        # Byte-identical outputs, batched vs sequential, per child mode.
+        assert batched.responses == sequential.responses
+        assert batched.finished == sequential.finished
+        # O(draft_depth) smoke: one begin + at most one propose/extend
+        # pair per level in topk mode; the lossless best-first build is
+        # bounded by its expansion rounds (at most budget + 1), never by
+        # live x nodes (= 8 sequences x up to 8 nodes x 2 calls each).
+        if mode == "topk":
+            assert per_cycle_max <= 2 + 2 * STRATEGY.draft_depth
+        else:
+            assert per_cycle_max <= 3 + 2 * STRATEGY.tokens_to_verify
+        assert per_cycle_max < 2 * 8 * STRATEGY.tokens_to_verify
+        # The acceptance criterion: >= 4x fewer drafter launches than
+        # per-node drafting of the same trees.
+        assert issued + saved >= 4 * issued, (mode, issued, saved)
+
+    write_result(
+        "draft_launch_amortisation",
+        format_table(
+            [
+                "child mode", "identical", "draft launches",
+                "launches saved", "amortisation", "max/cycle",
+            ],
+            rows,
+        ),
+    )

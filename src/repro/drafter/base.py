@@ -14,6 +14,13 @@ through three calls:
 States are immutable from the engine's perspective, which is what lets the
 tree builder branch one parent state into ``topk`` children.
 
+Each call has a batched sibling (:meth:`Drafter.begin_batch`,
+:meth:`Drafter.propose_batch`, :meth:`Drafter.extend_batch`) taking many
+states at once: the batched engine drafts every live sequence's tree in
+lock-step, issuing one batched call per tree depth instead of one call
+per node per sequence.  The base class provides per-state fallbacks;
+vectorised overrides must be row-identical to them.
+
 Because every drafting state is rebuilt from the target's hidden hand-off
 at the start of each cycle, a drafter carries **no cross-cycle state the
 engine depends on** — which is what makes zero-downtime hot swap
@@ -95,6 +102,44 @@ class Drafter(abc.ABC):
     @abc.abstractmethod
     def extend(self, state: DrafterState, token: int) -> DrafterState:
         """Successor state after appending ``token`` to the draft branch."""
+
+    def propose_batch(
+        self, states: Sequence[DrafterState], temperature: float
+    ) -> List[np.ndarray]:
+        """Next-token distributions for SEVERAL drafting states at once.
+
+        The default implementation is the per-state fallback (one
+        :meth:`propose` call per state).  Learned drafters override it
+        with a vectorised path that pushes every state through one
+        batched matmul; overrides MUST stay row-identical to the
+        fallback — the flat tree builder batches the whole live batch's
+        frontier into one call per depth, and its byte-identity to
+        per-node drafting rests on each row being unaffected by its
+        neighbours.
+        """
+        return [self.propose(state, temperature) for state in states]
+
+    def extend_batch(
+        self,
+        states: Sequence[DrafterState],
+        tokens: Sequence[int],
+    ) -> List[DrafterState]:
+        """Successor states for SEVERAL (state, token) pairs at once.
+
+        The default implementation is the per-pair fallback (one
+        :meth:`extend` call per pair).  Vectorised overrides MUST stay
+        row-identical to the fallback, for the same reason as
+        :meth:`propose_batch`.
+        """
+        if len(states) != len(tokens):
+            raise DrafterError(
+                "states and tokens must have equal lengths, got "
+                f"{len(states)}/{len(tokens)}"
+            )
+        return [
+            self.extend(state, int(token))
+            for state, token in zip(states, tokens)
+        ]
 
     def observe_rollouts(
         self, sequences: Sequence[Sequence[int]]

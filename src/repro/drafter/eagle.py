@@ -133,6 +133,46 @@ class EagleDrafter(Drafter):
 
     # -- numeric core ------------------------------------------------------
 
+    @staticmethod
+    def _row_linear(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Batch-size-invariant linear map: ``x (n, e) @ w.T -> (n, f)``.
+
+        ``np.einsum`` reduces each output row in a fixed order regardless
+        of how many rows the call carries, unlike a BLAS GEMM whose
+        blocking differs between single-row and multi-row shapes.  Every
+        inference-path matmul routes through this, which is what makes
+        batched drafting *bitwise* identical to per-sequence drafting —
+        the byte-identity guarantee of the flat tree builder rests on it.
+        """
+        return np.einsum("ne,fe->nf", x, w)
+
+    def _fuse_rows(self, hidden_stacks: np.ndarray) -> np.ndarray:
+        """Row-stable :meth:`fuse` over (n, num_layers, d) stacks."""
+        selected = [hidden_stacks[:, layer, :]
+                    for layer in self.config.fused_layers]
+        feature = np.concatenate(selected, axis=-1)
+        if "w_fuse" in self.params:
+            feature = (
+                self._row_linear(feature, self.params["w_fuse"])
+                + self.params["b_fuse"]
+            )
+        return feature
+
+    def _cell_rows(
+        self, states: np.ndarray, token_embeds: np.ndarray
+    ) -> np.ndarray:
+        """Row-stable :meth:`cell` over (n, d) states and embeddings."""
+        u = np.concatenate([states, token_embeds], axis=-1)
+        z = self._row_linear(u, self.params["w_r"]) + self.params["b_r"]
+        a = np.tanh(
+            self._row_linear(z, self.params["w_up"]) + self.params["b_up"]
+        )
+        return z + self._row_linear(a, self.params["w_down"])
+
+    def _head_rows(self, hiddens: np.ndarray) -> np.ndarray:
+        """Row-stable :meth:`head_logits` over (n, d) hiddens."""
+        return self._row_linear(hiddens, self.target.params["embed"])
+
     def fuse(self, hidden_stack: np.ndarray) -> np.ndarray:
         """Project a target hidden stack to the drafter's input feature.
 
@@ -179,11 +219,11 @@ class EagleDrafter(Drafter):
     ) -> List[EagleState]:
         """Vectorised begin: one fuse + cell matmul over all sequences.
 
-        Row-identical to per-sequence :meth:`begin` (same stacked
-        operations, one GEMM instead of N), which is what lets the
-        batched engine's linear fast path keep the token-identity
-        guarantee while amortising drafter launches across the live
-        batch.
+        Bitwise row-identical to per-sequence :meth:`begin` — every
+        matmul goes through the batch-size-invariant
+        :meth:`_row_linear` kernel — which is what lets the batched
+        engine keep the token-identity guarantee while amortising
+        drafter launches across the live batch.
         """
         if len(prefixes) != len(last_hiddens):
             raise DrafterError(
@@ -202,23 +242,67 @@ class EagleDrafter(Drafter):
                     # Tolerate a bare top-layer vector by broadcasting it.
                     stack = np.tile(stack, (self.target.num_layers, 1))
                 stacks.append(stack)
-            fused[rows] = self.fuse(np.stack(stacks, axis=0))
+            fused[rows] = self._fuse_rows(np.stack(stacks, axis=0))
         tokens = []
         for prefix in prefixes:
             if not len(prefix):
                 raise DrafterError("prefix_tokens must be non-empty")
             tokens.append(int(prefix[-1]))
         embed = self.target.params["embed"][np.asarray(tokens, dtype=np.int64)]
-        hidden = self.cell(fused, embed)  # (n, d)
+        hidden = self._cell_rows(fused, embed)  # (n, d)
         return [EagleState(hidden=hidden[i]) for i in range(n)]
 
     def propose(self, state: EagleState, temperature: float) -> np.ndarray:
-        logits = self.head_logits(state.hidden)
-        return temperature_probs(logits, temperature)
+        return self.propose_batch([state], temperature)[0]
+
+    def propose_batch(
+        self, states: Sequence[EagleState], temperature: float
+    ) -> List[np.ndarray]:
+        """Vectorised propose: one head matmul over all states.
+
+        Single-state :meth:`propose` delegates here, so the per-node and
+        the batched drafting paths share one canonical (batch-size-
+        invariant) numeric kernel and return bitwise-equal rows.
+        """
+        if not states:
+            return []
+        hiddens = np.stack(
+            [np.asarray(s.hidden, dtype=np.float64) for s in states],
+            axis=0,
+        )
+        probs = temperature_probs(self._head_rows(hiddens), temperature)
+        return [probs[i] for i in range(len(states))]
 
     def extend(self, state: EagleState, token: int) -> EagleState:
-        embed = self.target.params["embed"][int(token)]
-        return EagleState(hidden=self.cell(state.hidden, embed))
+        return self.extend_batch([state], [token])[0]
+
+    def extend_batch(
+        self,
+        states: Sequence[EagleState],
+        tokens: Sequence[int],
+    ) -> List[EagleState]:
+        """Vectorised extend: one cell step over all (state, token) pairs.
+
+        Single-pair :meth:`extend` delegates here (same bitwise-identity
+        argument as :meth:`propose_batch`).
+        """
+        if len(states) != len(tokens):
+            raise DrafterError(
+                "states and tokens must have equal lengths, got "
+                f"{len(states)}/{len(tokens)}"
+            )
+        if not states:
+            return []
+        hiddens = np.stack(
+            [np.asarray(s.hidden, dtype=np.float64) for s in states],
+            axis=0,
+        )
+        ids = np.asarray([int(t) for t in tokens], dtype=np.int64)
+        embeds = self.target.params["embed"][ids]
+        new_hidden = self._cell_rows(hiddens, embeds)
+        return [
+            EagleState(hidden=new_hidden[i]) for i in range(len(states))
+        ]
 
     # -- training-time forward/backward ------------------------------------
 

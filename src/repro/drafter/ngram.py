@@ -59,7 +59,12 @@ class NgramState:
 
 
 class NgramDrafter(Drafter):
-    """Retrieval-based drafter over a dynamic n-gram database."""
+    """Retrieval-based drafter over a dynamic n-gram database.
+
+    Inherits the per-state ``propose_batch``/``extend_batch`` fallbacks:
+    proposals are hash-table lookups, so there is no matmul to batch and
+    the fallbacks are trivially row-identical to per-state calls.
+    """
 
     name = "ngram"
 

@@ -40,6 +40,12 @@ class SmallLmState:
 class SmallLmDrafter(Drafter):
     """A separate small LM used as a draft model.
 
+    Inherits the per-state ``propose_batch``/``extend_batch`` fallbacks:
+    each proposal is one single-row :meth:`~repro.llm.model.TinyLM.step`,
+    and batching rows through the small LM's BLAS matmuls would not be
+    bitwise row-identical to single-row calls — the fallback keeps the
+    flat tree builder's byte-identity guarantee instead.
+
     Args:
         draft_model: the small LM (vocab must match the target's).
         target_vocab_size: checked against the draft model's vocab.

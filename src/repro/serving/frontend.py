@@ -815,6 +815,12 @@ class ServingEngine:
             worker_prefill_saved=[
                 w.engine.prefill_launches_saved for w in self.workers
             ],
+            worker_draft_launches=[
+                w.engine.draft_launches for w in self.workers
+            ],
+            worker_draft_saved=[
+                w.engine.draft_launches_saved for w in self.workers
+            ],
         )
 
     # -- internals ---------------------------------------------------------

@@ -150,6 +150,10 @@ class ServingReport:
             worker actually computed.
         worker_prefill_saved: prefill forwards each worker avoided
             (cache hits + same-wave shared-prefix coalescing).
+        worker_draft_launches: batched drafter launches each worker
+            issued while tree-drafting.
+        worker_draft_saved: drafter launches each worker avoided versus
+            per-node drafting (the flat tree build's amortisation).
     """
 
     records: List[RequestRecord]
@@ -164,6 +168,8 @@ class ServingReport:
     worker_prefix_misses: List[int] = field(default_factory=list)
     worker_prefill_launches: List[int] = field(default_factory=list)
     worker_prefill_saved: List[int] = field(default_factory=list)
+    worker_draft_launches: List[int] = field(default_factory=list)
+    worker_draft_saved: List[int] = field(default_factory=list)
 
     # -- slices ------------------------------------------------------------
 
@@ -285,6 +291,21 @@ class ServingReport:
         return sum(self.worker_prefill_saved)
 
     @property
+    def draft_launches(self) -> int:
+        """Batched drafter launches the pool issued (tree path)."""
+        return sum(self.worker_draft_launches)
+
+    @property
+    def draft_launches_saved(self) -> int:
+        """Drafter launches the pool avoided versus per-node drafting.
+
+        The flat lock-step tree build issues one batched call per tree
+        depth for a worker's whole live batch; this is the per-node
+        baseline's call count minus what was actually launched.
+        """
+        return sum(self.worker_draft_saved)
+
+    @property
     def class_utilization(self) -> Dict[str, float]:
         """Fraction of the pool's slot capacity each SLO class decoded.
 
@@ -351,4 +372,6 @@ class ServingReport:
             "prefix_hit_rate": self.prefix_hit_rate,
             "prefill_launches": float(self.prefill_launches),
             "prefill_launches_saved": float(self.prefill_launches_saved),
+            "draft_launches": float(self.draft_launches),
+            "draft_launches_saved": float(self.draft_launches_saved),
         }

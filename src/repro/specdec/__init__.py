@@ -54,8 +54,11 @@ from repro.specdec.scheduler import (
 from repro.specdec.strategy import SdStrategy, default_strategy_pool
 from repro.specdec.tree import (
     DraftTree,
+    FlatDraftTree,
+    GrowMap,
     TreeNode,
     build_draft_tree,
+    build_draft_trees,
     verify_tree,
     verify_trees,
 )
@@ -68,8 +71,11 @@ __all__ = [
     "multi_round_accept",
     "residual_distribution",
     "DraftTree",
+    "FlatDraftTree",
+    "GrowMap",
     "TreeNode",
     "build_draft_tree",
+    "build_draft_trees",
     "verify_tree",
     "verify_trees",
     "LinearDraftResult",

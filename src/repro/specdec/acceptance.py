@@ -148,6 +148,27 @@ def multi_round_accept(
     return None, current
 
 
+def inverse_cdf_draws(
+    probs: np.ndarray, uniforms: Sequence[float]
+) -> List[int]:
+    """Map uniform draws through the inverse CDF of ``probs``.
+
+    The single candidate-sampling primitive shared by the tree builders
+    and :func:`sequential_residual_draws`: the cumulative distribution is
+    clamped to end exactly at 1.0 (guarding cumulative rounding) and each
+    draw is clamped into the support, so a uniform of exactly 1.0 can
+    never index past the last token.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    cdf = np.cumsum(probs)
+    cdf[-1] = 1.0
+    top = probs.shape[0] - 1
+    return [
+        min(int(np.searchsorted(cdf, float(draw), side="right")), top)
+        for draw in uniforms
+    ]
+
+
 def sequential_residual_draws(
     probs: np.ndarray, count: int, rng: np.random.Generator
 ) -> Tuple[List[int], List[np.ndarray]]:
@@ -162,9 +183,5 @@ def sequential_residual_draws(
     probs = np.asarray(probs, dtype=np.float64)
     if count < 1:
         raise SpecDecodeError(f"count must be >= 1, got {count}")
-    cdf = np.cumsum(probs)
-    cdf[-1] = 1.0
-    draws = rng.random(count)
-    tokens = [int(np.searchsorted(cdf, d, side="right")) for d in draws]
-    tokens = [min(t, probs.shape[0] - 1) for t in tokens]
+    tokens = inverse_cdf_draws(probs, rng.random(count))
     return tokens, [probs for _ in tokens]

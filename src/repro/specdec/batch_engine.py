@@ -91,7 +91,7 @@ from repro.specdec.scheduler import (
     SequenceSlot,
 )
 from repro.specdec.strategy import SdStrategy
-from repro.specdec.tree import ChildMode, build_draft_tree, verify_trees
+from repro.specdec.tree import ChildMode, build_draft_trees, verify_trees
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
     from repro.cache.manager import KVCacheManager
@@ -217,6 +217,8 @@ class BatchedSpecDecodeEngine:
         self._reports: List[BatchCycleReport] = []
         self._prefill_launches = 0
         self._prefill_saved = 0
+        self._draft_launches = 0
+        self._draft_saved = 0
         #: request_id -> cache key currently pinned by its live slot.
         self._cache_keys: Dict[int, Tuple[int, ...]] = {}
         #: request_id -> cache key released at park, awaiting resume.
@@ -249,6 +251,8 @@ class BatchedSpecDecodeEngine:
         self._reports = []
         self._prefill_launches = 0
         self._prefill_saved = 0
+        self._draft_launches = 0
+        self._draft_saved = 0
         self.events.clear()
 
     @property
@@ -312,6 +316,27 @@ class BatchedSpecDecodeEngine:
         :class:`~repro.cache.manager.KVCacheManager`.
         """
         return self._prefill_saved
+
+    @property
+    def draft_launches(self) -> int:
+        """Batched drafter launches issued this session (tree path).
+
+        One ``begin_batch``/``propose_batch``/``extend_batch`` call each
+        count as one launch — the quantity the flat lock-step tree build
+        amortises across the live batch (the linear path is not counted;
+        its drafting is already chain-batched).
+        """
+        return self._draft_launches
+
+    @property
+    def draft_launches_saved(self) -> int:
+        """Drafter launches avoided this session versus per-node drafting.
+
+        The per-node baseline is ``sum(tree.draft_calls)`` — one begin,
+        propose and extend per node per sequence — minus the batched
+        launches actually issued.
+        """
+        return self._draft_saved
 
     @property
     def metrics(self) -> SdRunMetrics:
@@ -466,6 +491,8 @@ class BatchedSpecDecodeEngine:
                 strategy = self.sd_manager.select_strategy(batch)
             else:
                 sd_active = False
+        draft_launches_before = self._draft_launches
+        draft_saved_before = self._draft_saved
         if sd_active:
             assert strategy is not None
             cycle_stats = self._sd_cycle(live, strategy, self._metrics)
@@ -522,6 +549,8 @@ class BatchedSpecDecodeEngine:
                 sum(wait_cycles) / len(wait_cycles) if wait_cycles else 0.0
             ),
             resumed=len(resumed),
+            draft_launches=self._draft_launches - draft_launches_before,
+            draft_launches_saved=self._draft_saved - draft_saved_before,
         )
         self._reports.append(report)
         scheduler.tick()
@@ -714,18 +743,22 @@ class BatchedSpecDecodeEngine:
         """One draft/verify cycle across every live sequence."""
         cycle_stats: List[SdCycleStats] = []
         if self.use_tree:
-            trees = [
-                build_draft_tree(
-                    self.drafter,
-                    slot.sequence,
-                    slot.hidden,
-                    strategy,
-                    self.temperature,
-                    slot.rng,
-                    child_mode=self.child_mode,
-                )
-                for slot in live
-            ]
+            trees, launches = build_draft_trees(
+                self.drafter,
+                [slot.sequence for slot in live],
+                [slot.hidden for slot in live],
+                strategy,
+                self.temperature,
+                [slot.rng for slot in live],
+                child_mode=self.child_mode,
+            )
+            saved = max(
+                0,
+                sum(tree.draft_calls for tree in trees) - launches,
+            )
+            self._draft_launches += launches
+            self._draft_saved += saved
+            metrics.record_draft_launches(launches, saved)
             results = verify_trees(
                 self.target,
                 trees,

@@ -89,12 +89,18 @@ class SdRunMetrics:
             cycle's admission wave.
         wait_cycles: per-request cycles spent waiting before admission,
             in admission order.
+        draft_launch_counts: batched drafter launches per tree-drafted
+            engine cycle.
+        draft_saved_counts: drafter launches avoided per tree-drafted
+            engine cycle versus per-node drafting of the same trees.
     """
 
     cycles: List[SdCycleStats] = field(default_factory=list)
     profile: AcceptanceProfile = field(default_factory=AcceptanceProfile)
     queue_depths: List[int] = field(default_factory=list)
     wait_cycles: List[int] = field(default_factory=list)
+    draft_launch_counts: List[int] = field(default_factory=list)
+    draft_saved_counts: List[int] = field(default_factory=list)
 
     def add_cycle(self, stats: SdCycleStats) -> None:
         """Record one cycle."""
@@ -107,6 +113,11 @@ class SdRunMetrics:
     def record_wait(self, cycles: int) -> None:
         """Record one admitted request's waiting time in cycles."""
         self.wait_cycles.append(int(cycles))
+
+    def record_draft_launches(self, launches: int, saved: int) -> None:
+        """Record one tree-drafted cycle's drafter-launch amortisation."""
+        self.draft_launch_counts.append(int(launches))
+        self.draft_saved_counts.append(int(saved))
 
     @property
     def num_cycles(self) -> int:
@@ -160,6 +171,16 @@ class SdRunMetrics:
         return max(self.queue_depths)
 
     @property
+    def draft_launches(self) -> int:
+        """Total batched drafter launches across tree-drafted cycles."""
+        return sum(self.draft_launch_counts)
+
+    @property
+    def draft_launches_saved(self) -> int:
+        """Total drafter launches avoided versus per-node drafting."""
+        return sum(self.draft_saved_counts)
+
+    @property
     def mean_wait_cycles(self) -> float:
         """Average per-request admission wait in cycles."""
         if not self.wait_cycles:
@@ -172,6 +193,12 @@ class SdRunMetrics:
             cycles=self.cycles + other.cycles,
             queue_depths=self.queue_depths + other.queue_depths,
             wait_cycles=self.wait_cycles + other.wait_cycles,
+            draft_launch_counts=(
+                self.draft_launch_counts + other.draft_launch_counts
+            ),
+            draft_saved_counts=(
+                self.draft_saved_counts + other.draft_saved_counts
+            ),
         )
         merged.profile.record(other.profile.attempts, other.profile.accepts)
         merged.profile.record(self.profile.attempts, self.profile.accepts)
@@ -187,4 +214,6 @@ class SdRunMetrics:
             "total_committed": float(self.total_committed),
             "mean_queue_depth": self.mean_queue_depth,
             "mean_wait_cycles": self.mean_wait_cycles,
+            "draft_launches": float(self.draft_launches),
+            "draft_launches_saved": float(self.draft_launches_saved),
         }

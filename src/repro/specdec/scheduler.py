@@ -230,6 +230,10 @@ class BatchCycleReport:
         queue_depth: requests still waiting after this cycle's admission.
         mean_wait_cycles: mean cycles the requests admitted before this
             cycle spent waiting (0.0 when nothing was admitted).
+        draft_launches: batched drafter launches issued by this cycle's
+            tree build (0 for vanilla/linear cycles).
+        draft_launches_saved: drafter launches avoided versus per-node
+            drafting of the same trees.
     """
 
     index: int
@@ -244,6 +248,8 @@ class BatchCycleReport:
     queue_depth: int = 0
     mean_wait_cycles: float = 0.0
     resumed: int = 0
+    draft_launches: int = 0
+    draft_launches_saved: int = 0
 
 
 class ContinuousBatchScheduler:

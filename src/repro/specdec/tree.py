@@ -1,4 +1,4 @@
-"""Confidence-guided draft-tree construction and parallel verification.
+"""Draft-tree construction and parallel verification, flat-tensor first.
 
 Reproduces Figure 9 of the paper: starting from the committed prefix, the
 drafter expands up to ``topk`` candidate children per node for up to
@@ -6,6 +6,27 @@ drafter expands up to ``topk`` candidate children per node for up to
 ``tokens_to_verify``; the whole tree is then submitted to the target model
 in one batched forward pass and accepted along a single root-to-leaf path
 with the multi-round rule.
+
+Trees are represented two ways:
+
+* :class:`FlatDraftTree` — the primary layout: contiguous, level-ordered
+  per-node arrays (tokens, parent indices, depths, cumulative draft
+  confidences) plus a CSR candidate table and an ancestor/tree-attention
+  mask helper.  Node ``i``'s verification row is simply row ``i + 1``.
+* :class:`DraftTree` — the legacy per-node object view (kept for the
+  single-sequence API and for tooling that walks parent/child pointers);
+  the two views round-trip through :meth:`FlatDraftTree.from_draft_tree`
+  and :meth:`FlatDraftTree.to_node_view`.
+
+The batched entry point :func:`build_draft_trees` grows EVERY live
+sequence's tree in lock-step, issuing **one batched drafter call per tree
+depth** (one ``propose_batch`` over all frontiers, one ``extend_batch``
+over all materialised children) instead of one call per node per
+sequence.  In ``topk`` mode the level-order layout is precomputed as a
+:class:`GrowMap` (per-depth branch factors and level widths, TriForce
+style); in ``sample`` mode the flat layout is grown dynamically by the
+same best-first policy as the per-node path.  Both modes commit tokens
+byte-identical to the per-node builder under fixed seeds.
 
 Expansion is *best-first* on cumulative draft confidence and
 **all-or-nothing per node**: once a node's candidates are drawn, every one
@@ -34,7 +55,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional, Sequence, Tuple
+from typing import Dict, List, Literal, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,7 +64,7 @@ from repro.errors import SpecDecodeError
 from repro.llm.model import TinyLM, contexts_from_sequences
 from repro.llm.sampler import sample_from_probs, temperature_probs
 from repro.llm.vocab import EOS_ID
-from repro.specdec.acceptance import multi_round_accept
+from repro.specdec.acceptance import inverse_cdf_draws, multi_round_accept
 from repro.specdec.strategy import SdStrategy
 
 ChildMode = Literal["sample", "topk"]
@@ -51,7 +72,7 @@ ChildMode = Literal["sample", "topk"]
 
 @dataclass
 class TreeNode:
-    """One drafted token in the candidate tree.
+    """One drafted token in the candidate tree (legacy node view).
 
     Attributes:
         token: drafted token id.
@@ -61,7 +82,8 @@ class TreeNode:
             "confidence score" used for top-N selection).
         draft_dist: the draft distribution this node's token was drawn
             from (needed by the acceptance rule).
-        state: drafter state *after* consuming this node's token.
+        state: drafter state *after* consuming this node's token (``None``
+            in views reconstructed from a :class:`FlatDraftTree`).
         child_candidates: sibling-ordered child tokens drafted below this
             node (may contain duplicates in ``sample`` mode).
         child_dists: the draft distribution for each child candidate.
@@ -83,7 +105,7 @@ class TreeNode:
 
 @dataclass
 class DraftTree:
-    """A drafted candidate tree plus root-level bookkeeping.
+    """A drafted candidate tree plus root-level bookkeeping (legacy view).
 
     Attributes:
         nodes: all drafted nodes (root excluded; root is implicit).
@@ -108,6 +130,337 @@ class DraftTree:
         return len(self.selected_indices)
 
 
+@dataclass(frozen=True)
+class GrowMap:
+    """Precomputed level-order layout of a ``topk``-mode draft tree.
+
+    TriForce-style: the deterministic beam build visits levels of known
+    maximum width, so the flat layout (and the number of batched drafter
+    launches — at most two per level) is fixed before drafting starts.
+
+    Attributes:
+        depth: number of tree levels (``strategy.draft_depth``).
+        branch: beam width — parents expanded per level and candidates
+            proposed per parent (``strategy.topk``).
+        level_width: maximum nodes materialised per level below the root
+            (the EAGLE-2 rerank cut).
+        capacities: maximum nodes per level, root level first.
+    """
+
+    depth: int
+    branch: int
+    level_width: int
+    capacities: Tuple[int, ...]
+
+    @classmethod
+    def from_strategy(cls, strategy: SdStrategy) -> "GrowMap":
+        """Layout implied by ``(draft_depth, topk, tokens_to_verify)``."""
+        level_width = max(
+            strategy.topk, min(strategy.tokens_to_verify, 32)
+        )
+        capacities = (strategy.topk,) + (level_width,) * (
+            strategy.draft_depth - 1
+        )
+        return cls(
+            depth=strategy.draft_depth,
+            branch=strategy.topk,
+            level_width=level_width,
+            capacities=capacities,
+        )
+
+    @property
+    def max_nodes(self) -> int:
+        """Upper bound on drafted nodes before top-N selection."""
+        return int(sum(self.capacities))
+
+
+@dataclass
+class FlatDraftTree:
+    """Flat, level-ordered tensor layout of a selected draft tree.
+
+    Nodes are stored in verification order — sorted by ``(depth, creation
+    index)`` — so node ``i``'s verification row is row ``i + 1`` (row 0 is
+    the committed prefix) and parents always precede children.  Only nodes
+    that survived top-N selection are materialised; candidates whose child
+    was pruned (or never created) keep their row in the candidate table
+    with ``cand_child == -1``, which is exactly what the lossless
+    acceptance walk needs to skip them without re-deriving tree structure.
+
+    Candidate slots are CSR-packed: slot 0 holds the root's candidate
+    list and slot ``i + 1`` holds node ``i``'s, so slot ``s`` spans rows
+    ``cand_offsets[s]:cand_offsets[s + 1]``.
+
+    Attributes:
+        tokens: ``(N,)`` drafted token per node.
+        parents: ``(N,)`` flat parent index per node (-1 = root).
+        depths: ``(N,)`` node depth (1 = root children), non-decreasing.
+        path_probs: ``(N,)`` cumulative draft confidence per node.
+        level_offsets: ``(max_depth + 1,)`` cumulative node counts per
+            level: depth-``d`` nodes occupy
+            ``level_offsets[d - 1]:level_offsets[d]``.
+        cand_offsets: ``(N + 2,)`` CSR offsets of the candidate slots.
+        cand_tokens: ``(C,)`` candidate token per candidate row.
+        cand_child: ``(C,)`` flat index of the materialised selected child
+            for each candidate row, or -1 (duplicate draws share the first
+            occurrence's child, as the multi-round rule requires).
+        cand_dists: ``(C, V)`` draft distribution per candidate row.
+        node_dist_row: ``(N,)`` candidate row each node's token was first
+            drawn from (recovers ``TreeNode.draft_dist``).
+        draft_steps: drafter ``extend`` count spent building the tree.
+        draft_calls: drafter launches the per-node path would have issued
+            for this tree (begin + proposes + extends) — the baseline the
+            engine's ``draft_launches_saved`` counter is measured against.
+    """
+
+    tokens: np.ndarray
+    parents: np.ndarray
+    depths: np.ndarray
+    path_probs: np.ndarray
+    level_offsets: np.ndarray
+    cand_offsets: np.ndarray
+    cand_tokens: np.ndarray
+    cand_child: np.ndarray
+    cand_dists: np.ndarray
+    node_dist_row: np.ndarray
+    draft_steps: int
+    draft_calls: int
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of materialised (selected) nodes."""
+        return int(self.tokens.shape[0])
+
+    @property
+    def num_selected(self) -> int:
+        """Alias of :attr:`num_nodes` (every stored node is selected)."""
+        return self.num_nodes
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest materialised level (0 for an empty tree)."""
+        return int(self.depths[-1]) if self.num_nodes else 0
+
+    def level_slice(self, depth: int) -> slice:
+        """Contiguous flat-index range of the nodes at ``depth``."""
+        if not 1 <= depth <= self.max_depth:
+            raise SpecDecodeError(
+                f"depth must be in [1, {self.max_depth}], got {depth}"
+            )
+        return slice(
+            int(self.level_offsets[depth - 1]),
+            int(self.level_offsets[depth]),
+        )
+
+    def children_of(self, index: int) -> List[int]:
+        """Flat indices of ``index``'s materialised children (-1 = root)."""
+        slot = index + 1
+        start = int(self.cand_offsets[slot])
+        end = int(self.cand_offsets[slot + 1])
+        children: List[int] = []
+        for row in range(start, end):
+            child = int(self.cand_child[row])
+            if child >= 0 and child not in children:
+                children.append(child)
+        return children
+
+    def ancestor_matrix(self) -> np.ndarray:
+        """Self-inclusive ancestor mask ``A[i, j] = j is an ancestor of i``.
+
+        This is the tree-attention mask of the flat layout: row ``i`` marks
+        exactly the nodes on ``i``'s root-to-node path.  One forward pass
+        suffices because parents precede children in flat order.
+        """
+        n = self.num_nodes
+        mask = np.zeros((n, n), dtype=bool)
+        for i in range(n):
+            parent = int(self.parents[i])
+            if parent >= 0:
+                mask[i] = mask[parent]
+            mask[i, i] = True
+        return mask
+
+    @classmethod
+    def from_draft_tree(cls, tree: DraftTree) -> "FlatDraftTree":
+        """Flatten a legacy per-node tree (selected subtree only).
+
+        ``draft_calls`` is reconstructed as ``begin + one propose per
+        expanded slot + one extend per node`` — a lower bound, since the
+        per-node ``sample`` builder also spends proposes on expansions it
+        then discards for lack of budget; the batched builders record the
+        exact count instead.
+        """
+        nodes = tree.nodes
+        order = list(tree.selected_indices)
+        selected_set = set(order)
+        slot_tokens = [list(tree.root_candidates)] + [
+            list(node.child_candidates) for node in nodes
+        ]
+        slot_dists = [list(tree.root_dists)] + [
+            list(node.child_dists) for node in nodes
+        ]
+        slot_child = [dict(tree.root_children)] + [
+            dict(node.child_nodes) for node in nodes
+        ]
+        draft_calls = (
+            1
+            + sum(1 for tokens in slot_tokens if tokens)
+            + tree.draft_steps
+        )
+        return _assemble_flat(
+            order=order,
+            selected_set=selected_set,
+            tokens=[node.token for node in nodes],
+            parents=[node.parent for node in nodes],
+            depths=[node.depth for node in nodes],
+            path_probs=[node.path_prob for node in nodes],
+            slot_tokens=slot_tokens,
+            slot_dists=slot_dists,
+            slot_child=slot_child,
+            draft_steps=tree.draft_steps,
+            draft_calls=draft_calls,
+        )
+
+    def to_node_view(self) -> DraftTree:
+        """Rebuild the legacy per-node view of the selected subtree.
+
+        Drafter states are not retained by the flat layout, so the
+        reconstructed nodes carry ``state=None``; candidates whose child
+        was pruned reappear as never-materialised candidates (the
+        acceptance walk treats both identically).
+        """
+        nodes: List[TreeNode] = []
+        for i in range(self.num_nodes):
+            nodes.append(
+                TreeNode(
+                    token=int(self.tokens[i]),
+                    parent=int(self.parents[i]),
+                    depth=int(self.depths[i]),
+                    path_prob=float(self.path_probs[i]),
+                    draft_dist=self.cand_dists[int(self.node_dist_row[i])],
+                    state=None,
+                    selected=True,
+                )
+            )
+        root_candidates: List[int] = []
+        root_dists: List[np.ndarray] = []
+        root_children: Dict[int, int] = {}
+        for slot in range(self.num_nodes + 1):
+            start = int(self.cand_offsets[slot])
+            end = int(self.cand_offsets[slot + 1])
+            if slot == 0:
+                cand_list, dist_list, child_map = (
+                    root_candidates, root_dists, root_children
+                )
+            else:
+                node = nodes[slot - 1]
+                cand_list, dist_list, child_map = (
+                    node.child_candidates,
+                    node.child_dists,
+                    node.child_nodes,
+                )
+            for row in range(start, end):
+                token = int(self.cand_tokens[row])
+                cand_list.append(token)
+                dist_list.append(self.cand_dists[row])
+                child = int(self.cand_child[row])
+                if child >= 0 and token not in child_map:
+                    child_map[token] = child
+        return DraftTree(
+            nodes=nodes,
+            root_candidates=root_candidates,
+            root_dists=root_dists,
+            root_children=root_children,
+            selected_indices=list(range(self.num_nodes)),
+            draft_steps=self.draft_steps,
+        )
+
+
+def _assemble_flat(
+    order: List[int],
+    selected_set: set,
+    tokens: List[int],
+    parents: List[int],
+    depths: List[int],
+    path_probs: List[float],
+    slot_tokens: List[List[int]],
+    slot_dists: List[List[np.ndarray]],
+    slot_child: List[Dict[int, int]],
+    draft_steps: int,
+    draft_calls: int,
+) -> FlatDraftTree:
+    """Pack per-node build state into a :class:`FlatDraftTree`.
+
+    ``order`` lists the selected node indices in flat (verification)
+    order; slot ``j + 1`` of the ``slot_*`` arrays describes node ``j``'s
+    candidates (slot 0 = root).  Candidate child pointers are remapped to
+    flat indices, nulling children that were pruned by selection.
+    """
+    n = len(order)
+    flat_of = {legacy: flat for flat, legacy in enumerate(order)}
+    f_tokens = np.array([tokens[j] for j in order], dtype=np.int64)
+    f_parents = np.array(
+        [
+            flat_of[parents[j]] if parents[j] != -1 else -1
+            for j in order
+        ],
+        dtype=np.int64,
+    )
+    f_depths = np.array([depths[j] for j in order], dtype=np.int64)
+    f_path_probs = np.array(
+        [path_probs[j] for j in order], dtype=np.float64
+    )
+    max_depth = int(f_depths[-1]) if n else 0
+    level_offsets = np.searchsorted(
+        f_depths, np.arange(max_depth + 1), side="right"
+    ).astype(np.int64)
+
+    cand_offsets = np.zeros(n + 2, dtype=np.int64)
+    cand_tokens_list: List[int] = []
+    cand_child_list: List[int] = []
+    cand_dist_rows: List[np.ndarray] = []
+    node_dist_row = np.full(n, -1, dtype=np.int64)
+    row = 0
+    flat_slots = [0] + [j + 1 for j in order]
+    for s, legacy_slot in enumerate(flat_slots):
+        cand_offsets[s] = row
+        child_map = slot_child[legacy_slot]
+        for token, dist in zip(
+            slot_tokens[legacy_slot], slot_dists[legacy_slot]
+        ):
+            child = child_map.get(token)
+            if child is not None and child in selected_set:
+                flat_child = flat_of[child]
+                if node_dist_row[flat_child] < 0:
+                    node_dist_row[flat_child] = row
+            else:
+                flat_child = -1
+            cand_tokens_list.append(int(token))
+            cand_child_list.append(flat_child)
+            cand_dist_rows.append(dist)
+            row += 1
+    cand_offsets[n + 1] = row
+
+    cand_dists = (
+        np.array(cand_dist_rows, dtype=np.float64)
+        if cand_dist_rows
+        else np.zeros((0, 0))
+    )
+    return FlatDraftTree(
+        tokens=f_tokens,
+        parents=f_parents,
+        depths=f_depths,
+        path_probs=f_path_probs,
+        level_offsets=level_offsets,
+        cand_offsets=cand_offsets,
+        cand_tokens=np.array(cand_tokens_list, dtype=np.int64),
+        cand_child=np.array(cand_child_list, dtype=np.int64),
+        cand_dists=cand_dists,
+        node_dist_row=node_dist_row,
+        draft_steps=draft_steps,
+        draft_calls=draft_calls,
+    )
+
+
 def build_draft_tree(
     drafter: Drafter,
     prefix_tokens: Sequence[int],
@@ -117,7 +470,11 @@ def build_draft_tree(
     rng: np.random.Generator,
     child_mode: ChildMode = "sample",
 ) -> DraftTree:
-    """Draft a candidate tree below the committed prefix.
+    """Draft a candidate tree below the committed prefix (per-node path).
+
+    This is the single-sequence reference builder; the batched engine uses
+    :func:`build_draft_trees`, which commits identical tokens with one
+    drafter launch per depth instead of one per node.
 
     Args:
         drafter: the draft model.
@@ -160,13 +517,7 @@ def _build_tree_sampled(
     ) -> Tuple[List[int], List[np.ndarray]]:
         """Draw i.i.d. candidate children for one node."""
         probs = drafter.propose(state, temperature)
-        cdf = np.cumsum(probs)
-        cdf[-1] = 1.0
-        draws = rng.random(strategy.topk)
-        tokens = [
-            min(int(np.searchsorted(cdf, d, side="right")), len(probs) - 1)
-            for d in draws
-        ]
+        tokens = inverse_cdf_draws(probs, rng.random(strategy.topk))
         dists = [probs] * len(tokens)
         return tokens, dists
 
@@ -278,14 +629,14 @@ def _build_tree_topk(
     """EAGLE-2-style deterministic build: beam expansion + top-V rerank.
 
     Per level the ``topk`` most confident frontier nodes are expanded and
-    the most confident ``max(topk, min(V, 32))`` drafted candidates are
+    the most confident ``GrowMap.level_width`` drafted candidates are
     materialised; afterwards the ``tokens_to_verify`` highest-confidence
     nodes across the whole tree form the verified (connected) subtree.
     """
     root_state = drafter.begin(prefix_tokens, last_hidden)
     nodes: List[TreeNode] = []
     draft_steps = 0
-    level_width = max(strategy.topk, min(strategy.tokens_to_verify, 32))
+    level_width = GrowMap.from_strategy(strategy).level_width
 
     def top_children(
         state: DrafterState,
@@ -400,6 +751,518 @@ def _select_top_connected(nodes: List[TreeNode], budget: int) -> List[int]:
     return kept
 
 
+class _LockStepBuilder:
+    """Shared per-sequence node/slot bookkeeping for lock-step builds.
+
+    Subclasses replicate the corresponding per-node builder's control
+    flow exactly — same draw order, same float arithmetic on the same
+    bitwise-identical proposal rows — so the assembled flat tree matches
+    ``FlatDraftTree.from_draft_tree(build_draft_tree(...))`` byte for
+    byte.  ``legacy_calls`` counts the drafter launches the per-node path
+    would have spent on this sequence (begin + proposes + extends).
+    """
+
+    def __init__(
+        self,
+        strategy: SdStrategy,
+        temperature: float,
+        root_state: DrafterState,
+    ) -> None:
+        self.strategy = strategy
+        self.temperature = temperature
+        self.root_state = root_state
+        self.tokens: List[int] = []
+        self.parents: List[int] = []
+        self.depths: List[int] = []
+        self.path_probs: List[float] = []
+        self.states: List[DrafterState] = []
+        # Candidate slots: slot 0 = root, slot i + 1 = node i.
+        self.slot_tokens: List[List[int]] = [[]]
+        self.slot_dists: List[Optional[np.ndarray]] = [None]
+        self.slot_child: List[Dict[int, int]] = [{}]
+        self.draft_steps = 0
+        self.legacy_calls = 1  # begin
+
+    def _state_of(self, index: int) -> DrafterState:
+        return self.root_state if index == -1 else self.states[index]
+
+    def _add_node(
+        self, parent: int, token: int, path_prob: float,
+        state: DrafterState,
+    ) -> int:
+        self.draft_steps += 1
+        self.legacy_calls += 1  # the per-node extend
+        index = len(self.tokens)
+        self.tokens.append(int(token))
+        self.parents.append(parent)
+        self.depths.append(
+            1 if parent == -1 else self.depths[parent] + 1
+        )
+        self.path_probs.append(path_prob)
+        self.states.append(state)
+        self.slot_tokens.append([])
+        self.slot_dists.append(None)
+        self.slot_child.append({})
+        self.slot_child[parent + 1][int(token)] = index
+        return index
+
+    def _assemble(self, order: List[int]) -> FlatDraftTree:
+        return _assemble_flat(
+            order=order,
+            selected_set=set(order),
+            tokens=self.tokens,
+            parents=self.parents,
+            depths=self.depths,
+            path_probs=self.path_probs,
+            slot_tokens=[
+                list(tokens) for tokens in self.slot_tokens
+            ],
+            slot_dists=[
+                [] if dist is None
+                else [dist] * len(self.slot_tokens[slot])
+                for slot, dist in enumerate(self.slot_dists)
+            ],
+            slot_child=self.slot_child,
+            draft_steps=self.draft_steps,
+            draft_calls=self.legacy_calls,
+        )
+
+
+class _SampledTreeBuilder(_LockStepBuilder):
+    """Lock-step twin of :func:`_build_tree_sampled` for one sequence.
+
+    The best-first loop is unrolled into rounds: each round the builder
+    exposes its next frontier parent for the batched proposal, then (after
+    the shared ``extend_batch``) materialises that parent's children and
+    pops the next parent.  Its private ``rng`` is consumed in exactly the
+    per-node order (one ``random(topk)`` per expansion, drawn before the
+    budget check), so committed tokens are unchanged.
+    """
+
+    def __init__(
+        self,
+        strategy: SdStrategy,
+        temperature: float,
+        rng: np.random.Generator,
+        root_state: DrafterState,
+    ) -> None:
+        super().__init__(strategy, temperature, root_state)
+        self.rng = rng
+        self.budget = strategy.tokens_to_verify
+        self._counter = 0
+        self._frontier: List[Tuple[float, int, int]] = []
+        # Parent index awaiting expansion (-1 = root, None = finished).
+        self.pending: Optional[int] = -1
+        self._new_children: List[int] = []
+
+    def parent_state(self) -> DrafterState:
+        return self._state_of(self.pending)
+
+    def on_proposal(self, probs: np.ndarray) -> None:
+        """Consume the batched proposal row for the pending parent.
+
+        Mirrors ``expand``: the candidate draw happens unconditionally
+        (rng parity with the per-node path), then the whole draw is
+        discarded when its unique children would exceed the budget.
+        """
+        self.legacy_calls += 1  # the per-node propose
+        candidates = inverse_cdf_draws(
+            probs, self.rng.random(self.strategy.topk)
+        )
+        unique = list(dict.fromkeys(candidates))
+        if len(self.tokens) + len(unique) > self.budget:
+            self._new_children = []
+            return
+        slot = self.pending + 1
+        self.slot_tokens[slot].extend(candidates)
+        self.slot_dists[slot] = probs
+        self._new_children = unique
+
+    def extend_requests(self) -> List[Tuple[DrafterState, int]]:
+        parent_state = self.parent_state()
+        return [(parent_state, token) for token in self._new_children]
+
+    def finish_round(self, new_states: List[DrafterState]) -> None:
+        """Materialise this round's children and pop the next parent."""
+        parent = self.pending
+        if self._new_children:
+            parent_prob = (
+                1.0 if parent == -1 else self.path_probs[parent]
+            )
+            dist = self.slot_dists[parent + 1]
+            for token, state in zip(self._new_children, new_states):
+                index = self._add_node(
+                    parent, token, parent_prob * float(dist[token]), state
+                )
+                self._push(index)
+            self._new_children = []
+        if self._frontier and len(self.tokens) < self.budget:
+            _, _, self.pending = heapq.heappop(self._frontier)
+        else:
+            self.pending = None
+
+    def _push(self, index: int) -> None:
+        if (
+            self.depths[index] >= self.strategy.draft_depth
+            or self.tokens[index] == EOS_ID
+        ):
+            return
+        heapq.heappush(
+            self._frontier,
+            (-self.path_probs[index], self._counter, index),
+        )
+        self._counter += 1
+
+    def build(self) -> FlatDraftTree:
+        order = sorted(
+            range(len(self.tokens)),
+            key=lambda i: (self.depths[i], i),
+        )
+        return self._assemble(order)
+
+
+def _build_trees_sampled(
+    drafter: Drafter,
+    prefixes: Sequence[Sequence[int]],
+    last_hiddens: Sequence[Optional[np.ndarray]],
+    strategy: SdStrategy,
+    temperature: float,
+    rngs: Sequence[np.random.Generator],
+) -> Tuple[List[FlatDraftTree], int]:
+    """Grow every sequence's lossless tree in lock-step rounds."""
+    root_states = drafter.begin_batch(prefixes, last_hiddens)
+    launches = 1
+    builders = [
+        _SampledTreeBuilder(strategy, temperature, rng, state)
+        for rng, state in zip(rngs, root_states)
+    ]
+    while True:
+        active = [b for b in builders if b.pending is not None]
+        if not active:
+            break
+        probs_rows = drafter.propose_batch(
+            [b.parent_state() for b in active], temperature
+        )
+        launches += 1
+        for builder, probs in zip(active, probs_rows):
+            builder.on_proposal(probs)
+        requests = [
+            request
+            for builder in active
+            for request in builder.extend_requests()
+        ]
+        if requests:
+            new_states = drafter.extend_batch(
+                [state for state, _ in requests],
+                [token for _, token in requests],
+            )
+            launches += 1
+        else:
+            new_states = []
+        position = 0
+        for builder in active:
+            count = len(builder._new_children)
+            builder.finish_round(
+                new_states[position : position + count]
+            )
+            position += count
+    return [builder.build() for builder in builders], launches
+
+
+class _TopkTreeBuilder(_LockStepBuilder):
+    """Lock-step twin of :func:`_build_tree_topk` for one sequence.
+
+    The deterministic beam build already proceeds level by level, so the
+    batched form follows the :class:`GrowMap` directly: one proposal
+    round over every expanded parent, one extend round over the reranked
+    level — at most two drafter launches per level for the whole batch.
+    """
+
+    def __init__(
+        self,
+        strategy: SdStrategy,
+        temperature: float,
+        root_state: DrafterState,
+        grow_map: GrowMap,
+    ) -> None:
+        super().__init__(strategy, temperature, root_state)
+        self.grow_map = grow_map
+        self.done = False
+        self._frontier: List[int] = []
+        self._pending_root: List[int] = []
+        # (path_prob, parent index, token, probs) per reranked candidate.
+        self._pending: List[Tuple[float, int, int, np.ndarray]] = []
+
+    # -- root level --------------------------------------------------------
+
+    def on_root_proposal(self, probs: np.ndarray) -> None:
+        self.legacy_calls += 1
+        order = np.argsort(-probs, kind="stable")[: self.strategy.topk]
+        tokens = [int(t) for t in order if probs[t] > 0.0]
+        self.slot_tokens[0] = list(tokens)
+        self.slot_dists[0] = probs
+        self._pending_root = tokens
+        if not tokens:
+            self.done = True
+
+    def root_extend_requests(self) -> List[Tuple[DrafterState, int]]:
+        return [
+            (self.root_state, token) for token in self._pending_root
+        ]
+
+    def materialise_root(self, new_states: List[DrafterState]) -> None:
+        dist = self.slot_dists[0]
+        for token, state in zip(self._pending_root, new_states):
+            index = self._add_node(
+                -1, token, float(dist[token]), state
+            )
+            self._frontier.append(index)
+        self._pending_root = []
+
+    # -- deeper levels -----------------------------------------------------
+
+    def select_parents(self) -> List[int]:
+        """Beam-select this level's expansion parents (stable sort)."""
+        self._frontier.sort(key=lambda i: -self.path_probs[i])
+        expanded = self._frontier[: self.strategy.topk]
+        parents = [
+            i for i in expanded if self.tokens[i] != EOS_ID
+        ]
+        if not parents:
+            self.done = True
+        return parents
+
+    def node_state(self, index: int) -> DrafterState:
+        return self.states[index]
+
+    def on_level_proposals(
+        self, proposals: List[Tuple[int, np.ndarray]]
+    ) -> None:
+        """Record every proposed candidate, then rerank and cut the level.
+
+        All proposed tokens enter their parent's candidate slot BEFORE
+        the ``level_width`` cut, exactly as the per-node builder does —
+        the acceptance walk needs the full sibling lists.
+        """
+        candidates: List[Tuple[float, int, int, np.ndarray]] = []
+        for parent_index, probs in proposals:
+            self.legacy_calls += 1
+            order = np.argsort(-probs, kind="stable")[
+                : self.strategy.topk
+            ]
+            tokens = [int(t) for t in order if probs[t] > 0.0]
+            slot = parent_index + 1
+            self.slot_tokens[slot].extend(tokens)
+            self.slot_dists[slot] = probs
+            parent_prob = self.path_probs[parent_index]
+            for token in tokens:
+                candidates.append(
+                    (
+                        parent_prob * float(probs[token]),
+                        parent_index,
+                        token,
+                        probs,
+                    )
+                )
+        if not candidates:
+            self.done = True
+            self._pending = []
+            return
+        candidates.sort(key=lambda item: -item[0])
+        self._pending = candidates[: self.grow_map.level_width]
+
+    def level_extend_requests(self) -> List[Tuple[DrafterState, int]]:
+        return [
+            (self.states[parent_index], token)
+            for _, parent_index, token, _ in self._pending
+        ]
+
+    def materialise_level(
+        self, new_states: List[DrafterState]
+    ) -> None:
+        next_frontier: List[int] = []
+        for (path_prob, parent_index, token, _), state in zip(
+            self._pending, new_states
+        ):
+            index = self._add_node(
+                parent_index, token, path_prob, state
+            )
+            next_frontier.append(index)
+        self._frontier = next_frontier
+        self._pending = []
+
+    def build(self) -> FlatDraftTree:
+        order = self._select_top_connected_flat(
+            self.strategy.tokens_to_verify
+        )
+        return self._assemble(order)
+
+    def _select_top_connected_flat(self, budget: int) -> List[int]:
+        """Array twin of :func:`_select_top_connected`."""
+        order = sorted(
+            range(len(self.tokens)),
+            key=lambda i: (-self.path_probs[i], self.depths[i], i),
+        )
+        kept: List[int] = []
+        kept_set: set = set()
+        for index in order:
+            if len(kept) >= budget:
+                break
+            parent = self.parents[index]
+            if parent != -1 and parent not in kept_set:
+                continue
+            kept.append(index)
+            kept_set.add(index)
+        kept.sort(key=lambda i: (self.depths[i], i))
+        return kept
+
+
+def _build_trees_topk(
+    drafter: Drafter,
+    prefixes: Sequence[Sequence[int]],
+    last_hiddens: Sequence[Optional[np.ndarray]],
+    strategy: SdStrategy,
+    temperature: float,
+) -> Tuple[List[FlatDraftTree], int]:
+    """Grow every sequence's beam tree level-synchronously.
+
+    Launch count is ``O(draft_depth)`` regardless of batch size or node
+    count: one ``begin_batch``, one root proposal/extend pair, then at
+    most one proposal and one extend launch per deeper level.
+    """
+    grow_map = GrowMap.from_strategy(strategy)
+    root_states = drafter.begin_batch(prefixes, last_hiddens)
+    launches = 1
+    builders = [
+        _TopkTreeBuilder(strategy, temperature, state, grow_map)
+        for state in root_states
+    ]
+
+    probs_rows = drafter.propose_batch(
+        [b.root_state for b in builders], temperature
+    )
+    launches += 1
+    for builder, probs in zip(builders, probs_rows):
+        builder.on_root_proposal(probs)
+    requests = [
+        request
+        for builder in builders
+        for request in builder.root_extend_requests()
+    ]
+    if requests:
+        new_states = drafter.extend_batch(
+            [state for state, _ in requests],
+            [token for _, token in requests],
+        )
+        launches += 1
+        position = 0
+        for builder in builders:
+            count = len(builder._pending_root)
+            builder.materialise_root(
+                new_states[position : position + count]
+            )
+            position += count
+
+    for _ in range(1, strategy.draft_depth):
+        active = [b for b in builders if not b.done]
+        if not active:
+            break
+        proposal_refs: List[Tuple[_TopkTreeBuilder, int]] = []
+        for builder in active:
+            for parent_index in builder.select_parents():
+                proposal_refs.append((builder, parent_index))
+        if not proposal_refs:
+            continue
+        probs_rows = drafter.propose_batch(
+            [b.node_state(p) for b, p in proposal_refs], temperature
+        )
+        launches += 1
+        per_builder: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        for (builder, parent_index), probs in zip(
+            proposal_refs, probs_rows
+        ):
+            per_builder.setdefault(id(builder), []).append(
+                (parent_index, probs)
+            )
+        proposed = [b for b in active if id(b) in per_builder]
+        for builder in proposed:
+            builder.on_level_proposals(per_builder[id(builder)])
+        requests = [
+            request
+            for builder in proposed
+            for request in builder.level_extend_requests()
+        ]
+        if not requests:
+            continue
+        new_states = drafter.extend_batch(
+            [state for state, _ in requests],
+            [token for _, token in requests],
+        )
+        launches += 1
+        position = 0
+        for builder in proposed:
+            count = len(builder._pending)
+            builder.materialise_level(
+                new_states[position : position + count]
+            )
+            position += count
+
+    return [builder.build() for builder in builders], launches
+
+
+def build_draft_trees(
+    drafter: Drafter,
+    prefixes: Sequence[Sequence[int]],
+    last_hiddens: Sequence[Optional[np.ndarray]],
+    strategy: SdStrategy,
+    temperature: float,
+    rngs: Sequence[np.random.Generator],
+    child_mode: ChildMode = "sample",
+) -> Tuple[List[FlatDraftTree], int]:
+    """Draft every live sequence's candidate tree in lock-step.
+
+    The batched twin of :func:`build_draft_tree`: all trees grow together
+    through the drafter's batched calls (one ``propose_batch`` over every
+    frontier and one ``extend_batch`` over every materialised child per
+    round), and each sequence's private ``rng`` is consumed in exactly
+    the per-node order — committed tokens are byte-identical to building
+    each tree alone under the same seeds.
+
+    Args:
+        drafter: the draft model.
+        prefixes: committed sequence per live slot.
+        last_hiddens: target hidden hand-off per live slot.
+        strategy: ``(draft_depth, topk, tokens_to_verify)``.
+        temperature: sampling temperature shared with the target.
+        rngs: per-sequence random streams (used in ``sample`` mode).
+        child_mode: ``"sample"`` (lossless) or ``"topk"`` (EAGLE-2 style).
+
+    Returns:
+        ``(trees, launches)``: one :class:`FlatDraftTree` per sequence
+        and the number of batched drafter launches actually issued (the
+        per-node baseline is ``sum(tree.draft_calls for tree in trees)``).
+    """
+    if not (len(prefixes) == len(last_hiddens) == len(rngs)):
+        raise SpecDecodeError(
+            "prefixes, last_hiddens and rngs must have equal lengths, "
+            f"got {len(prefixes)}/{len(last_hiddens)}/{len(rngs)}"
+        )
+    if not prefixes:
+        return [], 0
+    if child_mode == "sample":
+        return _build_trees_sampled(
+            drafter, prefixes, last_hiddens, strategy, temperature, rngs
+        )
+    if child_mode == "topk":
+        return _build_trees_topk(
+            drafter, prefixes, last_hiddens, strategy, temperature
+        )
+    raise SpecDecodeError(f"unknown child mode {child_mode!r}")
+
+
+AnyDraftTree = Union[DraftTree, FlatDraftTree]
+
+
 @dataclass
 class TreeVerifyResult:
     """Outcome of verifying one draft tree against the target model.
@@ -427,13 +1290,15 @@ class TreeVerifyResult:
 
 
 def plan_verify_rows(
-    tree: DraftTree, prefix_tokens: Sequence[int]
+    tree: AnyDraftTree, prefix_tokens: Sequence[int]
 ) -> Tuple[List[List[int]], Dict[int, int]]:
-    """Lay out the verification rows for one tree.
+    """Lay out the verification rows for one tree (either view).
 
     Row 0 is the committed prefix (providing the root distribution and the
     fallback hand-off hidden); each selected node contributes one row
-    holding its root-to-node path appended to the prefix.
+    holding its root-to-node path appended to the prefix.  For a
+    :class:`FlatDraftTree` the mapping is the identity shift — node ``i``
+    verifies on row ``i + 1`` — because flat order IS verification order.
 
     Returns:
         ``(paths, row_of_node)`` where ``row_of_node`` maps a selected
@@ -442,18 +1307,28 @@ def plan_verify_rows(
     prefix = [int(t) for t in prefix_tokens]
     if not prefix:
         raise SpecDecodeError("prefix must be non-empty")
-    nodes = tree.nodes
     paths: List[List[int]] = [prefix]
     row_of_node: Dict[int, int] = {}
-    node_paths: Dict[int, List[int]] = {}
+    if isinstance(tree, FlatDraftTree):
+        node_paths: List[List[int]] = []
+        for index in range(tree.num_nodes):
+            parent = int(tree.parents[index])
+            parent_path = prefix if parent == -1 else node_paths[parent]
+            path = parent_path + [int(tree.tokens[index])]
+            node_paths.append(path)
+            row_of_node[index] = len(paths)
+            paths.append(path)
+        return paths, row_of_node
+    nodes = tree.nodes
+    legacy_paths: Dict[int, List[int]] = {}
     for index in tree.selected_indices:
         node = nodes[index]
         if node.parent == -1:
             parent_path = prefix
         else:
-            parent_path = node_paths[node.parent]
+            parent_path = legacy_paths[node.parent]
         path = parent_path + [node.token]
-        node_paths[index] = path
+        legacy_paths[index] = path
         row_of_node[index] = len(paths)
         paths.append(path)
     return paths, row_of_node
@@ -461,7 +1336,7 @@ def plan_verify_rows(
 
 def verify_tree(
     target: TinyLM,
-    tree: DraftTree,
+    tree: AnyDraftTree,
     prefix_tokens: Sequence[int],
     temperature: float,
     rng: np.random.Generator,
@@ -485,7 +1360,7 @@ def verify_tree(
 
 def verify_trees(
     target: TinyLM,
-    trees: Sequence[DraftTree],
+    trees: Sequence[AnyDraftTree],
     prefixes: Sequence[Sequence[int]],
     temperature: float,
     rngs: Sequence[np.random.Generator],
@@ -499,9 +1374,13 @@ def verify_trees(
     identical to per-sequence verification, so committed tokens match
     :func:`verify_tree` exactly.
 
+    Legacy :class:`DraftTree` inputs are flattened first — the acceptance
+    walk indexes the flat layout directly (node ``i`` on row ``i + 1``),
+    with no per-node pointer chasing.
+
     Args:
         target: the target model.
-        trees: one draft tree per live sequence.
+        trees: one draft tree per live sequence (either view).
         prefixes: committed prefix per live sequence.
         temperature: shared sampling temperature.
         rngs: per-sequence random streams (acceptance + bonus sampling).
@@ -516,11 +1395,17 @@ def verify_trees(
         )
     if not trees:
         return []
+    flat_trees = [
+        tree
+        if isinstance(tree, FlatDraftTree)
+        else FlatDraftTree.from_draft_tree(tree)
+        for tree in trees
+    ]
     all_paths: List[List[int]] = []
-    plans: List[Tuple[int, Dict[int, int]]] = []  # (row offset, node map)
-    for tree, prefix in zip(trees, prefixes):
-        paths, row_of_node = plan_verify_rows(tree, prefix)
-        plans.append((len(all_paths), row_of_node))
+    offsets: List[int] = []
+    for tree, prefix in zip(flat_trees, prefixes):
+        paths, _ = plan_verify_rows(tree, prefix)
+        offsets.append(len(all_paths))
         all_paths.extend(paths)
 
     contexts = contexts_from_sequences(
@@ -531,16 +1416,15 @@ def verify_trees(
     hidden_stack = np.stack(hiddens, axis=1)  # (rows, L, d)
 
     results: List[TreeVerifyResult] = []
-    for i, (tree, (offset, row_of_node)) in enumerate(zip(trees, plans)):
+    for i, (tree, offset) in enumerate(zip(flat_trees, offsets)):
         rows = (
-            plans[i + 1][0] if i + 1 < len(plans) else len(all_paths)
+            offsets[i + 1] if i + 1 < len(offsets) else len(all_paths)
         ) - offset
         results.append(
             _walk_acceptance(
                 tree,
                 probs[offset : offset + rows],
                 hidden_stack[offset : offset + rows],
-                row_of_node,
                 rngs[i],
             )
         )
@@ -548,30 +1432,30 @@ def verify_trees(
 
 
 def _walk_acceptance(
-    tree: DraftTree,
+    tree: FlatDraftTree,
     probs: np.ndarray,
     hidden_stack: np.ndarray,
-    row_of_node: Dict[int, int],
     rng: np.random.Generator,
 ) -> TreeVerifyResult:
-    """Run the multi-round acceptance walk over one tree's verified rows.
+    """Run the multi-round acceptance walk over one flat tree's rows.
 
     ``probs``/``hidden_stack`` are this tree's slice of the batched target
-    forward (row 0 = prefix row), ``row_of_node`` maps selected node
-    indices to local rows.
+    forward; row 0 is the prefix row and node ``i`` sits on row ``i + 1``
+    by construction, so the walk needs no row map.  Candidate rows with
+    ``cand_child == -1`` (pruned or never-materialised children) are
+    skipped, exactly as the legacy walk skipped unselected nodes.
     """
-    nodes = tree.nodes
     depth_attempts: List[int] = []
     depth_accepts: List[int] = []
     accepted: List[int] = []
 
-    current_row = 0  # root row
-    current_candidates = tree.root_candidates
-    current_dists = tree.root_dists
-    current_children = tree.root_children
+    current_row = 0  # root row; node i verifies on row i + 1
+    slot = 0
     depth = 0
     while True:
-        if not current_candidates:
+        start = int(tree.cand_offsets[slot])
+        end = int(tree.cand_offsets[slot + 1])
+        if start == end:
             # Leaf: sample the bonus token from the full target distribution.
             bonus_dist = probs[current_row]
             break
@@ -579,34 +1463,31 @@ def _walk_acceptance(
         _extend_counts(depth_attempts, depth)
         _extend_counts(depth_accepts, depth)
         depth_attempts[depth - 1] += 1
-        # Only candidates whose node survived selection participate.
-        live: List[int] = []
-        live_dists: List[np.ndarray] = []
-        live_node_index: List[int] = []
-        for token, dist in zip(current_candidates, current_dists):
-            node_index = current_children.get(token)
-            if node_index is None or not nodes[node_index].selected:
-                continue
-            live.append(token)
-            live_dists.append(dist)
-            live_node_index.append(node_index)
+        # Only candidates whose child survived selection participate;
+        # duplicate draws stay in (sharing the first occurrence's child),
+        # as the multi-round rule requires.
+        live = [
+            row
+            for row in range(start, end)
+            if int(tree.cand_child[row]) >= 0
+        ]
         if not live:
             bonus_dist = probs[current_row]
             break
         chosen, residual = multi_round_accept(
-            probs[current_row], live, live_dists, rng
+            probs[current_row],
+            [int(tree.cand_tokens[row]) for row in live],
+            [tree.cand_dists[row] for row in live],
+            rng,
         )
         if chosen is None:
             bonus_dist = residual
             break
         depth_accepts[depth - 1] += 1
-        node_index = live_node_index[chosen]
-        node = nodes[node_index]
-        accepted.append(node.token)
-        current_row = row_of_node[node_index]
-        current_candidates = node.child_candidates
-        current_dists = node.child_dists
-        current_children = node.child_nodes
+        node = int(tree.cand_child[live[chosen]])
+        accepted.append(int(tree.tokens[node]))
+        current_row = node + 1
+        slot = node + 1
 
     bonus_token = int(sample_from_probs(bonus_dist[None, :], rng)[0])
     return TreeVerifyResult(

@@ -236,3 +236,237 @@ class TestVerifyTree:
         chi2 = float(np.sum((observed - expected) ** 2 / expected))
         # dof ~ len(observed)-1; 99.9th percentile of chi2(24) ~ 51.2
         assert chi2 < 52.0, f"chi2={chi2:.1f}"
+
+
+# -- flat tensor-tree layout ------------------------------------------------
+
+
+from repro.specdec import (  # noqa: E402  (grouped with the flat tests)
+    FlatDraftTree,
+    GrowMap,
+    build_draft_trees,
+    verify_trees,
+)
+from repro.specdec.engine import _initial_hidden as _hidden_of  # noqa: E402
+
+FLAT_STRATEGIES = [
+    SdStrategy(draft_depth=2, topk=2, tokens_to_verify=4),
+    SdStrategy(draft_depth=4, topk=3, tokens_to_verify=8),
+    SdStrategy(draft_depth=5, topk=2, tokens_to_verify=12),
+]
+
+
+def _prefixes_and_hiddens(target):
+    prefixes = [[3, 5, 7, 2], [4, 4, 9], [1, 2], [8, 6, 5, 3, 2]]
+    hiddens = [_hidden_of(target, p) for p in prefixes]
+    return prefixes, hiddens
+
+
+class TestGrowMap:
+    def test_from_strategy_layout(self):
+        grow = GrowMap.from_strategy(
+            SdStrategy(draft_depth=4, topk=3, tokens_to_verify=8)
+        )
+        assert grow.depth == 4
+        assert grow.branch == 3
+        assert grow.level_width == 8  # max(topk, min(V, 32))
+        assert grow.capacities == (3, 8, 8, 8)
+        assert grow.max_nodes == 27
+
+    def test_wide_budget_is_clamped(self):
+        grow = GrowMap.from_strategy(
+            SdStrategy(draft_depth=2, topk=2, tokens_to_verify=64)
+        )
+        assert grow.level_width == 32
+
+
+class TestFlatRoundTrip:
+    @pytest.mark.parametrize("strategy", FLAT_STRATEGIES)
+    @pytest.mark.parametrize("child_mode", ["sample", "topk"])
+    @pytest.mark.parametrize("seed", [0, 7, 91])
+    @pytest.mark.parametrize("temperature", [0.0, 0.9])
+    def test_flat_round_trips_to_node_view(
+        self, target, trained_drafter, strategy, child_mode, seed,
+        temperature,
+    ):
+        """Flattening a legacy tree and rebuilding the node view keeps
+        the selected tokens, parents, depths and verify-row plan."""
+        prefixes, hiddens = _prefixes_and_hiddens(target)
+        for prefix, hidden in zip(prefixes, hiddens):
+            tree = build_draft_tree(
+                trained_drafter, prefix, hidden, strategy, temperature,
+                np.random.default_rng(seed), child_mode,
+            )
+            flat = FlatDraftTree.from_draft_tree(tree)
+            view = flat.to_node_view()
+            assert flat.num_selected == tree.num_selected
+            selected = tree.selected_indices
+            for flat_i, legacy_i in enumerate(selected):
+                node = tree.nodes[legacy_i]
+                back = view.nodes[flat_i]
+                assert back.token == node.token
+                assert back.depth == node.depth
+                assert back.path_prob == node.path_prob
+                assert np.array_equal(back.draft_dist, node.draft_dist)
+                legacy_parent = node.parent
+                if legacy_parent == -1:
+                    assert back.parent == -1
+                else:
+                    assert selected[back.parent] == legacy_parent
+            legacy_paths, legacy_rows = plan_verify_rows_ref(tree, prefix)
+            from repro.specdec.tree import plan_verify_rows
+            flat_paths, flat_rows = plan_verify_rows(flat, prefix)
+            assert flat_paths == legacy_paths
+            assert list(flat_rows.values()) == sorted(flat_rows.values())
+            # Round-trip again: the node view flattens back identically.
+            again = FlatDraftTree.from_draft_tree(view)
+            assert np.array_equal(again.tokens, flat.tokens)
+            assert np.array_equal(again.parents, flat.parents)
+            assert np.array_equal(again.cand_tokens, flat.cand_tokens)
+            assert np.array_equal(again.cand_child, flat.cand_child)
+            assert np.array_equal(again.cand_offsets, flat.cand_offsets)
+
+    @pytest.mark.parametrize("child_mode", ["sample", "topk"])
+    @pytest.mark.parametrize("seed", [3, 42])
+    def test_batched_build_bitwise_equals_per_node(
+        self, target, trained_drafter, child_mode, seed
+    ):
+        """The lock-step batched build produces byte-identical flat
+        trees to flattening per-node builds under the same seeds, and
+        verification commits identical tokens from either."""
+        strategy = SdStrategy(draft_depth=4, topk=3, tokens_to_verify=8)
+        temperature = 0.8
+        prefixes, hiddens = _prefixes_and_hiddens(target)
+        rngs_a = [
+            np.random.default_rng(seed + i) for i in range(len(prefixes))
+        ]
+        rngs_b = [
+            np.random.default_rng(seed + i) for i in range(len(prefixes))
+        ]
+        legacy = [
+            build_draft_tree(
+                trained_drafter, p, h, strategy, temperature, r,
+                child_mode,
+            )
+            for p, h, r in zip(prefixes, hiddens, rngs_a)
+        ]
+        trees, launches = build_draft_trees(
+            trained_drafter, prefixes, hiddens, strategy, temperature,
+            rngs_b, child_mode,
+        )
+        assert launches >= 1
+        for reference, flat in zip(
+            map(FlatDraftTree.from_draft_tree, legacy), trees
+        ):
+            assert np.array_equal(reference.tokens, flat.tokens)
+            assert np.array_equal(reference.parents, flat.parents)
+            assert np.array_equal(reference.depths, flat.depths)
+            assert np.array_equal(reference.path_probs, flat.path_probs)
+            assert np.array_equal(
+                reference.cand_tokens, flat.cand_tokens
+            )
+            assert np.array_equal(reference.cand_child, flat.cand_child)
+            assert np.array_equal(
+                reference.cand_offsets, flat.cand_offsets
+            )
+            assert np.array_equal(reference.cand_dists, flat.cand_dists)
+            assert np.array_equal(
+                reference.node_dist_row, flat.node_dist_row
+            )
+            assert reference.draft_steps == flat.draft_steps
+        # The two builds consumed each rng stream identically.
+        for ra, rb in zip(rngs_a, rngs_b):
+            assert ra.random() == rb.random()
+        verify_a = verify_trees(
+            target, legacy, prefixes, temperature,
+            [np.random.default_rng(seed + 50 + i) for i in range(4)],
+        )
+        verify_b = verify_trees(
+            target, trees, prefixes, temperature,
+            [np.random.default_rng(seed + 50 + i) for i in range(4)],
+        )
+        for a, b in zip(verify_a, verify_b):
+            assert a.accepted_tokens == b.accepted_tokens
+            assert np.array_equal(a.next_hidden, b.next_hidden)
+            assert a.depth_attempts == b.depth_attempts
+            assert a.depth_accepts == b.depth_accepts
+
+
+def plan_verify_rows_ref(tree, prefix):
+    """Reference row plan computed from the legacy node view."""
+    from repro.specdec.tree import plan_verify_rows
+
+    return plan_verify_rows(tree, prefix)
+
+
+class TestFlatLayoutInvariants:
+    @pytest.fixture()
+    def flat(self, target, trained_drafter):
+        prefixes, hiddens = _prefixes_and_hiddens(target)
+        trees, _ = build_draft_trees(
+            trained_drafter, prefixes, hiddens,
+            SdStrategy(draft_depth=4, topk=3, tokens_to_verify=8),
+            0.9,
+            [np.random.default_rng(i) for i in range(len(prefixes))],
+            "topk",
+        )
+        return trees[0]
+
+    def test_level_order(self, flat):
+        """Depths are non-decreasing, parents precede children, and
+        level_offsets slices exactly the per-depth runs."""
+        depths = flat.depths
+        assert all(depths[i] <= depths[i + 1] for i in range(len(depths) - 1))
+        for i in range(flat.num_nodes):
+            assert int(flat.parents[i]) < i
+        for depth in range(1, flat.max_depth + 1):
+            rows = flat.level_slice(depth)
+            assert all(int(d) == depth for d in flat.depths[rows])
+        assert int(flat.level_offsets[0]) == 0
+        assert int(flat.level_offsets[-1]) == flat.num_nodes
+
+    def test_ancestor_matrix(self, flat):
+        mask = flat.ancestor_matrix()
+        assert mask.shape == (flat.num_nodes, flat.num_nodes)
+        for i in range(flat.num_nodes):
+            # Row i marks exactly the root-to-i path.
+            path = {i}
+            j = int(flat.parents[i])
+            while j != -1:
+                path.add(j)
+                j = int(flat.parents[j])
+            assert set(np.flatnonzero(mask[i]).tolist()) == path
+        # Ancestor rows count matches each node's depth.
+        assert np.array_equal(mask.sum(axis=1), flat.depths)
+
+    def test_children_and_dist_rows(self, flat):
+        for i in range(flat.num_nodes):
+            for child in flat.children_of(i):
+                assert int(flat.parents[child]) == i
+            dist_row = int(flat.node_dist_row[i])
+            assert int(flat.cand_tokens[dist_row]) == int(flat.tokens[i])
+            assert int(flat.cand_child[dist_row]) == i
+
+    def test_level_slice_bounds(self, flat):
+        from repro.errors import SpecDecodeError
+        with pytest.raises(SpecDecodeError):
+            flat.level_slice(0)
+        with pytest.raises(SpecDecodeError):
+            flat.level_slice(flat.max_depth + 1)
+
+    def test_build_draft_trees_validates_lengths(self, trained_drafter):
+        from repro.errors import SpecDecodeError
+        with pytest.raises(SpecDecodeError):
+            build_draft_trees(
+                trained_drafter, [[1, 2]], [None, None],
+                SdStrategy(draft_depth=2, topk=2, tokens_to_verify=4),
+                0.5, [np.random.default_rng(0)],
+            )
+
+    def test_empty_batch(self, trained_drafter):
+        trees, launches = build_draft_trees(
+            trained_drafter, [], [],
+            SdStrategy(draft_depth=2, topk=2, tokens_to_verify=4),
+            0.5, [],
+        )
+        assert trees == [] and launches == 0
