@@ -1,0 +1,163 @@
+"""Fleet tier: 4 replicas x 2 workers behind prefix-hash routing.
+
+Builds a :class:`~repro.fleet.engine.FleetEngine` of four 2-worker
+serving pools behind prefix-aware consistent-hash routing and drives a
+multi-tenant trace (six tenants each reusing one prompt family, over a
+GRPO-grouped rollout floor) through it, exercising the full lifecycle
+mid-run:
+
+* at t=12 one replica is **drained** — it leaves the ring, its queued
+  work migrates to the survivors, its live work finishes in place, and
+  it retires with zero dropped requests;
+* at t=20 a refreshed drafter is **published fleet-wide** — the swap
+  rolls replica by replica, each pool rolling one worker per tick, so
+  at most one worker in the whole fleet is ever mid-swap.
+
+The run ends with the per-replica table and fleet-wide summary from
+:class:`~repro.fleet.report.FleetReport`, and a byte-identity check
+against a single-pool reference (routing, draining, and equal-weights
+swaps move work, never outputs).
+
+Run:  python examples/fleet_serving.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.drafter import EagleDrafter, EagleDrafterConfig
+from repro.fleet import FleetEngine, PrefixHashRouting
+from repro.llm import TinyLMConfig
+from repro.llm.pretrain import pretrained_target
+from repro.serving import (
+    LeastLoadedDispatch,
+    PrefixAffinityDispatch,
+    ServingEngine,
+)
+from repro.specdec import PrefixAwareAdmission, SdStrategy
+from repro.workload import fleet_trace
+
+NUM_REPLICAS = 4
+NUM_WORKERS = 2
+DRAIN_AT = 12.0
+PUBLISH_AT = 20.0
+
+
+def build_pool(target, drafter, strategy) -> ServingEngine:
+    return ServingEngine(
+        target,
+        drafter,
+        num_workers=NUM_WORKERS,
+        strategy=strategy,
+        temperature=0.7,
+        max_batch_size=2,
+        dispatch=PrefixAffinityDispatch(fallback=LeastLoadedDispatch()),
+        group_affinity=True,
+        work_stealing=False,
+        admission=PrefixAwareAdmission(),
+        kv_cache_tokens=4096,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    config = TinyLMConfig(
+        vocab_size=32, hidden_size=32, context_window=4, num_layers=4,
+        init_scale=0.8,
+    )
+    target = pretrained_target(config, rng, chain_prob=0.75)
+    drafter = EagleDrafter(target, EagleDrafterConfig(), rng)
+    strategy = SdStrategy(draft_depth=4, topk=2, tokens_to_verify=8)
+
+    trace = fleet_trace(
+        np.random.default_rng(21),
+        config.vocab_size,
+        num_tenants=6,
+        requests_per_tenant=5,
+        num_batch=12,
+        batch_group_size=4,
+        prefix_len=4,
+        mean_interarrival=1.5,
+        batch_gap=2.0,
+    )
+    tenants = len({tuple(r.prompt[:4]) for r in trace})
+    print(
+        f"trace: {len(trace)} requests across {tenants} prompt "
+        f"families (tenants + GRPO groups)"
+    )
+    print(
+        f"fleet: {NUM_REPLICAS} replicas x {NUM_WORKERS} workers, "
+        f"prefix-hash routing with least-loaded spill\n"
+    )
+
+    refreshed = drafter.clone()
+    fired = {"drain": False, "publish": False}
+
+    def control_plane(fleet: FleetEngine) -> None:
+        now = fleet.clock.now
+        if not fired["drain"] and now >= DRAIN_AT:
+            fired["drain"] = True
+            migrated = fleet.drain(1)
+            print(
+                f"t={now:>4.0f}  drain replica 1: {migrated} queued "
+                f"requests migrated, live work finishing in place"
+            )
+        if not fired["publish"] and now >= PUBLISH_AT:
+            fired["publish"] = True
+            fleet.swap_drafter(refreshed)
+            print(
+                f"t={now:>4.0f}  publish refreshed drafter fleet-wide "
+                f"(rolling, one replica at a time)"
+            )
+
+    fleet = FleetEngine(
+        [
+            build_pool(target, drafter, strategy)
+            for _ in range(NUM_REPLICAS)
+        ],
+        routing=PrefixHashRouting(),
+    )
+    report = fleet.run(trace, on_tick=control_plane)
+
+    print("\n=== per-replica ===")
+    header = (
+        f"{'replica':>7} {'state':>8} {'routed':>6} {'served':>6} "
+        f"{'p99':>6} {'hit rate':>8} {'prefill':>7}"
+    )
+    print(header)
+    for row in report.per_replica():
+        print(
+            f"{int(row['replica']):>7} {row['state']:>8} "
+            f"{int(row['routed']):>6} {int(row['requests']):>6} "
+            f"{row['p99_latency']:>6.1f} "
+            f"{row['prefix_hit_rate']:>8.0%} "
+            f"{int(row['prefill_launches']):>7}"
+        )
+
+    print("\n=== fleet-wide summary ===")
+    for key, value in report.summary().items():
+        print(f"  {key:>24}: {value:.2f}")
+
+    # Byte-identity: the same trace through ONE reference pool.
+    reference = build_pool(target, drafter, strategy).run(trace)
+    fleet_out = {
+        r.request.request_id: r.response
+        for r in report.pooled().records
+    }
+    single_out = {
+        r.request.request_id: r.response for r in reference.records
+    }
+    print(
+        f"\nresolved {report.num_requests}/{len(trace)} requests, "
+        f"{report.migrations} migrated, replica 1 "
+        f"{report.replica_states[1]}, "
+        f"{report.drafter_rolls} fleet drafter roll(s)"
+    )
+    print(
+        f"outputs byte-identical to single-pool reference: "
+        f"{fleet_out == single_out}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -46,7 +46,19 @@ from repro.rl import (
     VanillaRollout,
 )
 from repro.cache import KVCacheManager, PrefixIndex
+from repro.fleet import (
+    ConsistentHashRing,
+    FleetEngine,
+    FleetLeastLoaded,
+    FleetReport,
+    FleetRoundRobin,
+    PrefixHashRouting,
+    ReplicaState,
+    RoutingPolicy,
+    StaticRouting,
+)
 from repro.serving import (
+    RequestIdAllocator,
     ServingEngine,
     ServingRequest,
     SloClass,
@@ -89,9 +101,19 @@ __all__ = [
     "ServingEngine",
     "ServingRequest",
     "SloClass",
+    "RequestIdAllocator",
     "poisson_trace",
     "KVCacheManager",
     "PrefixIndex",
+    "FleetEngine",
+    "FleetReport",
+    "RoutingPolicy",
+    "FleetRoundRobin",
+    "FleetLeastLoaded",
+    "PrefixHashRouting",
+    "StaticRouting",
+    "ConsistentHashRing",
+    "ReplicaState",
     "FifoAdmission",
     "PrefixAwareAdmission",
     "__version__",

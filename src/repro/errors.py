@@ -41,14 +41,6 @@ class DataBufferError(ReproError):
     """The online data buffer was misused."""
 
 
-#: Deprecated alias of :class:`DataBufferError`.  The original name
-#: carried a trailing underscore to avoid shadowing the ``BufferError``
-#: builtin; ``DataBufferError`` needs no such dodge.  Existing
-#: ``except BufferError_`` / ``raise BufferError_`` sites keep working;
-#: new code should use :class:`DataBufferError`.
-BufferError_ = DataBufferError
-
-
 class CheckpointError(ReproError):
     """Checkpoint save/restore failed or was misused."""
 
@@ -71,3 +63,7 @@ class ServingError(ReproError):
 
 class CacheError(ReproError):
     """The prefix-cache subsystem was misused (bad key, ref underflow)."""
+
+
+class FleetError(ReproError):
+    """The multi-replica fleet tier was driven into an invalid state."""

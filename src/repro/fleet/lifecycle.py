@@ -1,0 +1,79 @@
+"""Replica lifecycle: JOINING → ACTIVE → DRAINING → RETIRED.
+
+A fleet replica is not just up or down — membership changes must never
+drop a request, so the transitions are explicit and one-way:
+
+* **JOINING** — the replica's pool is built (clock synced to fleet
+  time) but it receives no arrivals and is not on the routing ring yet;
+  after its warm-up ticks it is promoted.
+* **ACTIVE** — on the ring, receiving routed arrivals and ticking.
+* **DRAINING** — taken off the ring (its keys fall to ring successors,
+  moving the minimal arc); it receives no new arrivals, its queued and
+  pending requests are withdrawn and migrated to surviving replicas,
+  and its live/parked requests finish in place.
+* **RETIRED** — everything resolved; the replica stops ticking.
+  Nothing was dropped, nothing decoded twice.
+
+Illegal transitions raise :class:`~repro.errors.FleetError` — a
+draining replica can never re-activate (spin up a fresh replica
+instead: JOINING is cheap, resurrecting half-drained state is not).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.errors import FleetError
+
+
+class ReplicaState(enum.Enum):
+    """Lifecycle states of a fleet replica."""
+
+    JOINING = "joining"
+    ACTIVE = "active"
+    DRAINING = "draining"
+    RETIRED = "retired"
+
+
+#: Legal transitions.  JOINING may retire directly (a replica drained
+#: before it ever activated has nothing to migrate).
+_TRANSITIONS = {
+    ReplicaState.JOINING: {ReplicaState.ACTIVE, ReplicaState.RETIRED},
+    ReplicaState.ACTIVE: {ReplicaState.DRAINING},
+    ReplicaState.DRAINING: {ReplicaState.RETIRED},
+    ReplicaState.RETIRED: set(),
+}
+
+
+class ReplicaLifecycle:
+    """One replica's state machine with a time-stamped history.
+
+    Args:
+        now: fleet virtual time of creation (stamps the JOINING entry).
+    """
+
+    def __init__(self, now: float = 0.0) -> None:
+        self._state = ReplicaState.JOINING
+        #: ``(state, fleet-time)`` in transition order, JOINING first.
+        self.history: List[Tuple[ReplicaState, float]] = [
+            (ReplicaState.JOINING, now)
+        ]
+
+    @property
+    def state(self) -> ReplicaState:
+        """Current lifecycle state."""
+        return self._state
+
+    def to(self, state: ReplicaState, now: float) -> None:
+        """Transition to ``state``, validating legality."""
+        if state not in _TRANSITIONS[self._state]:
+            raise FleetError(
+                f"illegal replica transition "
+                f"{self._state.value} -> {state.value}"
+            )
+        self._state = state
+        self.history.append((state, now))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"ReplicaLifecycle({self._state.value})"

@@ -37,6 +37,7 @@ from repro.serving.request import (
     BATCH,
     INTERACTIVE,
     STANDARD,
+    RequestIdAllocator,
     RequestState,
     ServingRequest,
     SloClass,
@@ -57,6 +58,7 @@ __all__ = [
     "ServingEngine",
     "ServingWorker",
     "RequestRecord",
+    "RequestIdAllocator",
     "ServingReport",
     "ServingRequest",
     "SloClass",

@@ -89,6 +89,7 @@ from repro.serving.dispatch import (
 from repro.serving.metrics import RequestRecord, ServingReport
 from repro.serving.request import (
     RESOLVED_STATES,
+    RequestIdAllocator,
     RequestState,
     ServingRequest,
 )
@@ -452,6 +453,12 @@ class ServingEngine:
             capacity — prefills of repeated prompts become cache hits,
             and :class:`~repro.serving.dispatch.PrefixAffinityDispatch`
             can route arrivals to the worker holding their prefix.
+        id_allocator: the request-id namespace this pool mints from.
+            Pass one shared :class:`~repro.serving.request.
+            RequestIdAllocator` to every replica of a fleet so
+            concurrent pools can never allocate colliding ids; a
+            private allocator is created when omitted (single-pool
+            behaviour, unchanged).
     """
 
     def __init__(
@@ -472,6 +479,7 @@ class ServingEngine:
         group_affinity: bool = False,
         admission: Optional[AdmissionPolicy] = None,
         kv_cache_tokens: Optional[int] = None,
+        id_allocator: Optional[RequestIdAllocator] = None,
     ) -> None:
         if num_workers < 1:
             raise ConfigError(
@@ -541,7 +549,7 @@ class ServingEngine:
         self.group_affinity = group_affinity
         self._group_worker: Dict[int, int] = {}
         self._group_pending: Dict[int, int] = {}
-        self._next_id = 0
+        self.id_allocator = id_allocator or RequestIdAllocator()
         #: Slot-cycles decoded per SLO class (one live slot decoding for
         #: one tick = one slot-cycle) — the per-class utilization the
         #: co-location benchmark reads reclaimed-bubble capacity from.
@@ -555,12 +563,12 @@ class ServingEngine:
         Programmatic clients sharing the pool with a trace (the RL
         rollout backend) must not collide with trace-assigned ids; this
         hands them a contiguous id block past everything seen so far.
+        The block comes from the pool's
+        :class:`~repro.serving.request.RequestIdAllocator` — replicas
+        of a fleet share one allocator, so no two pools can mint the
+        same id even when driven concurrently.
         """
-        if count < 1:
-            raise ServingError(f"count must be >= 1, got {count}")
-        start = self._next_id
-        self._next_id = start + count
-        return range(start, start + count)
+        return self.id_allocator.allocate(count)
 
     def submit(self, request: ServingRequest) -> None:
         """Register an online request (dispatched once its time comes)."""
@@ -568,7 +576,7 @@ class ServingEngine:
             raise ServingError(
                 f"duplicate request_id {request.request_id}"
             )
-        self._next_id = max(self._next_id, request.request_id + 1)
+        self.id_allocator.observe(request.request_id)
         self.records[request.request_id] = RequestRecord(request=request)
         heapq.heappush(
             self._arrivals, (request.arrival_time, request.request_id)
@@ -684,6 +692,58 @@ class ServingEngine:
     def swap_in_progress(self) -> bool:
         """Whether a rolling drafter swap has workers left to visit."""
         return bool(self._swap_queue)
+
+    @property
+    def drained(self) -> bool:
+        """No submitted request is unresolved (the fleet's retire gate).
+
+        A draining replica keeps ticking until this flips true — every
+        live, parked, queued, and pending request has reached a
+        terminal state — and only then retires.
+        """
+        return not self._unresolved()
+
+    def withdraw_queued(self) -> List[ServingRequest]:
+        """Withdraw every request that has not started decoding.
+
+        The fleet tier's drain/migration hook: PENDING arrivals (not
+        yet dispatched) and QUEUED requests (dispatched to a worker,
+        still waiting for a live slot) are removed from this pool
+        entirely — records, arrival queue, and deadline queue included
+        — and returned for resubmission on another replica.  Neither
+        kind has consumed a token of its private random stream, so a
+        withdrawn request decodes byte-identically wherever it lands
+        (the same property work stealing relies on, lifted across
+        pools).  Live, parked, and resuming requests are NOT withdrawn:
+        their slots hold committed tokens and mid-decode state, so they
+        finish on this pool.
+
+        Returns:
+            The withdrawn requests in request-id order.
+        """
+        withdrawn: List[ServingRequest] = []
+        for record in list(self.records.values()):
+            if record.state is RequestState.PENDING:
+                withdrawn.append(record.request)
+                del self.records[record.request.request_id]
+        for worker in self.workers:
+            for request, _predicted, _waited in worker.steal(
+                worker.num_waiting
+            ):
+                record = self.records.pop(request.request_id)
+                self._note_group_resolved(record)
+                withdrawn.append(record.request)
+        gone = {request.request_id for request in withdrawn}
+        if gone:
+            self._arrivals = [
+                entry for entry in self._arrivals if entry[1] not in gone
+            ]
+            heapq.heapify(self._arrivals)
+            self._deadlines = [
+                entry for entry in self._deadlines if entry[1] not in gone
+            ]
+            heapq.heapify(self._deadlines)
+        return sorted(withdrawn, key=lambda r: r.request_id)
 
     def subscribe(
         self, callback: Callable[[RequestEvent], None]

@@ -18,13 +18,56 @@ losslessness guarantee.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ServingError
 from repro.workload.lengths import LengthModel
+
+
+class RequestIdAllocator:
+    """Fleet-safe request-id namespace shared by every replica.
+
+    One allocator hands out globally-unique contiguous id blocks to any
+    number of :class:`~repro.serving.frontend.ServingEngine` replicas
+    (and programmatic clients like the RL rollout backend) so two
+    replicas can never mint the same id.  Allocation is guarded by a
+    lock — replicas driven from concurrent threads are safe — and
+    :meth:`observe` bumps the namespace past externally-assigned ids
+    (trace-synthesized requests), so mixed trace + programmatic traffic
+    stays collision-free too.
+
+    Args:
+        start: first id the allocator may hand out.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ConfigError(f"start must be >= 0, got {start}")
+        self._next = int(start)
+        self._lock = threading.Lock()
+
+    @property
+    def next_id(self) -> int:
+        """The next id that would be handed out (inspection only)."""
+        return self._next
+
+    def allocate(self, count: int) -> range:
+        """Reserve ``count`` fresh ids as one contiguous block."""
+        if count < 1:
+            raise ServingError(f"count must be >= 1, got {count}")
+        with self._lock:
+            first = self._next
+            self._next = first + count
+        return range(first, first + count)
+
+    def observe(self, request_id: int) -> None:
+        """Advance the namespace past an externally-assigned id."""
+        with self._lock:
+            self._next = max(self._next, int(request_id) + 1)
 
 
 @dataclass(frozen=True)

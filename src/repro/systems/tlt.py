@@ -19,7 +19,7 @@ also drive real batched token generation on the TinyLM substrate.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional, TYPE_CHECKING
+from typing import List, Optional, TYPE_CHECKING, Union
 
 import numpy as np
 
@@ -34,6 +34,8 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.rl.trainer import RlConfig
     from repro.spot.trainer import SpotTrainer
     from repro.workload.prompts import Task
+from repro.fleet.engine import FleetEngine
+from repro.fleet.router import RoutingPolicy
 from repro.hardware.gpus import ModelSpec
 from repro.llm.model import TinyLM
 from repro.rl.rollout_backends import AdaptiveSpeculativeRollout
@@ -178,9 +180,53 @@ class _AdaptiveSdSystem(RlSystem):
             kv_cache_tokens=kv_cache_tokens,
         )
 
+    def fleet_frontend(
+        self,
+        target: TinyLM,
+        drafter: Drafter,
+        num_replicas: int = 2,
+        num_workers: int = 2,
+        routing: Optional[RoutingPolicy] = None,
+        warmup_ticks: int = 0,
+        **pool_kwargs,
+    ) -> FleetEngine:
+        """A sharded fleet of :meth:`serving_frontend` replicas.
+
+        Builds ``num_replicas`` identical pools (each configured exactly
+        as :meth:`serving_frontend` would, with ``pool_kwargs`` passed
+        through) and puts them behind a fleet router — prefix-aware
+        consistent hashing with least-loaded spill when ``routing`` is
+        omitted.  All replicas share one
+        :class:`~repro.serving.request.RequestIdAllocator`, so ids are
+        fleet-unique by construction.
+
+        For the byte-identity determinism contract, pass a static
+        ``strategy=`` in ``pool_kwargs`` (adaptive managers legitimately
+        depend on the live batch each replica sees).
+
+        Args:
+            target: the target model served by every worker.
+            drafter: the draft model shared by every replica.
+            num_replicas: serving pools in the fleet.
+            num_workers: decode workers per pool.
+            routing: fleet routing policy (prefix-hash when omitted).
+            warmup_ticks: JOINING warm-up before a replica activates.
+            **pool_kwargs: forwarded to :meth:`serving_frontend` for
+                each replica.
+        """
+        replicas = [
+            self.serving_frontend(
+                target, drafter, num_workers=num_workers, **pool_kwargs
+            )
+            for _ in range(num_replicas)
+        ]
+        return FleetEngine(
+            replicas, routing=routing, warmup_ticks=warmup_ticks
+        )
+
     def publish_drafter(
         self,
-        frontend: ServingEngine,
+        frontend: Union[ServingEngine, FleetEngine],
         spot_trainer: "SpotTrainer",
     ) -> Drafter:
         """Deploy the spot trainer's refreshed weights with zero downtime.
@@ -193,9 +239,14 @@ class _AdaptiveSdSystem(RlSystem):
         engine control plane — each worker swaps at a cycle boundary,
         so no in-flight request anywhere is dropped or stalled.
 
+        A :class:`~repro.fleet.engine.FleetEngine` is accepted wherever
+        a pool is: the fleet rolls the snapshot across its replicas one
+        at a time (each replica rolling its own workers one per tick),
+        so a whole sharded tier upgrades with zero downtime.
+
         Returns:
             The published snapshot (the drafter instance now rolling
-            across the pool).
+            across the pool or fleet).
         """
         refreshed = spot_trainer.snapshot_drafter()
         frontend.swap_drafter(refreshed)

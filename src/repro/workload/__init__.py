@@ -29,6 +29,7 @@ from repro.workload.prompts import (
 from repro.workload.traces import (
     TraceStep,
     TrainingTrace,
+    fleet_trace,
     mixed_serving_trace,
     shared_prefix_trace,
     synthesize_trace,
@@ -49,6 +50,7 @@ __all__ = [
     "TraceStep",
     "TrainingTrace",
     "synthesize_trace",
+    "fleet_trace",
     "mixed_serving_trace",
     "shared_prefix_trace",
 ]

@@ -338,3 +338,101 @@ def shared_prefix_trace(
             )
         )
     return requests
+
+
+def fleet_trace(
+    rng: np.random.Generator,
+    vocab_size: int,
+    num_tenants: int,
+    requests_per_tenant: int,
+    num_batch: int = 0,
+    prefix_len: int = 4,
+    suffix_len: int = 0,
+    mean_interarrival: float = 1.0,
+    batch_gap: float = 2.0,
+    batch_group_size: int = 4,
+    max_new_tokens: Optional[LengthModel] = None,
+    batch_lengths: Optional[LengthModel] = None,
+    start_id: int = 0,
+) -> List["ServingRequest"]:
+    """Synthesize multi-tenant fleet traffic: tenants + rollout floor.
+
+    The fleet tier's traffic shape: ``num_tenants`` tenants each reuse
+    their own prompt-prefix family (system prompts per product surface),
+    interleaved as one Poisson stream, over an optional floor of
+    GRPO-grouped BATCH rollouts whose groups share prompts by
+    construction.  Prefix-hash routing sends each tenant — and each
+    rollout group — to one replica, so the per-replica prefix caches
+    (PR 5) amortise fleet-wide; placement-oblivious routing scatters
+    every family across all replicas and pays the prefill again on each.
+
+    Args:
+        rng: master generator (one seed fixes the whole trace).
+        vocab_size: token ids drawn from ``[3, vocab_size)``.
+        num_tenants: distinct tenant prefix families.
+        requests_per_tenant: interactive arrivals per tenant.
+        num_batch: BATCH-class rollout requests in the floor (0 = none).
+        prefix_len: tokens per tenant prefix.
+        suffix_len: fresh per-request tokens after the prefix.
+        mean_interarrival: mean ticks between interactive arrivals.
+        batch_gap: mean ticks between BATCH arrivals.
+        batch_group_size: GRPO group size of the rollout floor.
+        max_new_tokens: interactive response-length model.
+        batch_lengths: rollout response-length model (long-tailed
+            lognormal when omitted).
+        start_id: first request id (interactive first, then floor).
+
+    Returns:
+        Requests of both classes merged and sorted by arrival time.
+    """
+    from repro.serving.request import BATCH, poisson_trace
+
+    if num_tenants < 1:
+        raise ConfigError(f"num_tenants must be >= 1, got {num_tenants}")
+    if requests_per_tenant < 1:
+        raise ConfigError(
+            f"requests_per_tenant must be >= 1, "
+            f"got {requests_per_tenant}"
+        )
+    if num_batch < 0:
+        raise ConfigError(f"num_batch must be >= 0, got {num_batch}")
+    if batch_group_size < 1:
+        raise ConfigError(
+            f"batch_group_size must be >= 1, got {batch_group_size}"
+        )
+    stream = shared_prefix_trace(
+        rng,
+        vocab_size,
+        num_requests=num_tenants * requests_per_tenant,
+        num_prefixes=num_tenants,
+        prefix_len=prefix_len,
+        suffix_len=suffix_len,
+        mean_interarrival=mean_interarrival,
+        max_new_tokens=max_new_tokens,
+        start_id=start_id,
+    )
+    floor: List["ServingRequest"] = []
+    if num_batch:
+        batch_lengths = batch_lengths or LognormalLengths(
+            median=30.0, sigma=0.8, cap=120
+        )
+        floor = poisson_trace(
+            rng,
+            num_requests=num_batch,
+            mean_interarrival=batch_gap,
+            length_model=batch_lengths,
+            vocab_size=vocab_size,
+            prompt_len=prefix_len + suffix_len,
+            slo_mix=((BATCH, 1.0),),
+            start_id=start_id + len(stream),
+        )
+        for i, request in enumerate(floor):
+            group = i // batch_group_size
+            request.group = start_id + len(stream) + group
+            request.prompt = list(
+                floor[group * batch_group_size].prompt
+            )
+    return sorted(
+        stream + floor,
+        key=lambda r: (r.arrival_time, r.request_id),
+    )

@@ -6,20 +6,20 @@ import numpy as np
 import pytest
 
 from repro.drafter.training import TrainingSequence
-from repro.errors import BufferError_  # deprecated alias, kept working
+from repro.errors import DataBufferError
 from repro.spot import OnlineDataBuffer
 
 
 class TestErrorRename:
-    def test_deprecated_alias_is_the_renamed_class(self):
-        """``BufferError_`` stays importable and IS ``DataBufferError``:
-        old ``except``/``raise`` sites keep working unchanged."""
-        from repro.errors import DataBufferError, ReproError
+    def test_deprecated_alias_is_gone(self):
+        """The PR-3 compatibility alias ``BufferError_`` has been
+        retired; :class:`DataBufferError` is the only name."""
+        import repro.errors
 
-        assert BufferError_ is DataBufferError
+        assert not hasattr(repro.errors, "BufferError_")
+        from repro.errors import ReproError
+
         assert issubclass(DataBufferError, ReproError)
-        with pytest.raises(BufferError_):
-            raise DataBufferError("raised as new, caught as old")
         with pytest.raises(DataBufferError):
             OnlineDataBuffer(capacity_tokens=0)
 
@@ -43,7 +43,7 @@ class TestLifecycle:
     def test_steps_must_not_decrease(self):
         buf = OnlineDataBuffer()
         buf.begin_step(3)
-        with pytest.raises(BufferError_):
+        with pytest.raises(DataBufferError):
             buf.begin_step(2)
 
     def test_eviction_oldest_first(self):
@@ -101,7 +101,7 @@ class TestOneStepOffsetSampling:
 
     def test_empty_raises(self):
         buf = OnlineDataBuffer()
-        with pytest.raises(BufferError_):
+        with pytest.raises(DataBufferError):
             buf.sample_sequences(1, np.random.default_rng(0))
 
     def test_zero_long_fraction(self):
@@ -117,11 +117,11 @@ class TestOneStepOffsetSampling:
         buf = OnlineDataBuffer()
         buf.begin_step(0)
         buf.add([make_seq(5)])
-        with pytest.raises(BufferError_):
+        with pytest.raises(DataBufferError):
             buf.sample_sequences(0, np.random.default_rng(0))
 
     def test_validation(self):
-        with pytest.raises(BufferError_):
+        with pytest.raises(DataBufferError):
             OnlineDataBuffer(capacity_tokens=0)
-        with pytest.raises(BufferError_):
+        with pytest.raises(DataBufferError):
             OnlineDataBuffer(long_fraction=1.5)
