@@ -45,6 +45,15 @@ from repro.rl import (
     SpeculativeRollout,
     VanillaRollout,
 )
+from repro.autoscale import (
+    Autoscaler,
+    HysteresisPolicy,
+    PressureSnapshot,
+    ScaleDecision,
+    ScaleEvent,
+    ScalingPolicy,
+    SignalAggregator,
+)
 from repro.cache import KVCacheManager, PrefixIndex
 from repro.fleet import (
     ConsistentHashRing,
@@ -110,6 +119,13 @@ __all__ = [
     "RoutingPolicy",
     "FleetRoundRobin",
     "FleetLeastLoaded",
+    "Autoscaler",
+    "HysteresisPolicy",
+    "PressureSnapshot",
+    "ScaleDecision",
+    "ScaleEvent",
+    "ScalingPolicy",
+    "SignalAggregator",
     "PrefixHashRouting",
     "StaticRouting",
     "ConsistentHashRing",

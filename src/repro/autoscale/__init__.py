@@ -1,0 +1,54 @@
+"""Elastic autoscaling: event-driven fleet scaling with hysteresis.
+
+The fleet tier (:mod:`repro.fleet`) gave the serving stack membership
+mechanics — replicas join, drain, and retire with zero dropped
+requests.  This package adds the *control loop* that decides WHEN:
+
+* :mod:`repro.autoscale.signals` — the sensor layer.
+  :class:`SignalAggregator` folds the fleet's merged lifecycle event
+  stream, router spill counters, and scheduler queue depths into one
+  windowed :class:`PressureSnapshot` per tick (queue EWMA, preemption
+  and spill rates, backlog-token slope).
+* :mod:`repro.autoscale.policy` — the brain.  A
+  :class:`ScalingPolicy` maps snapshots to typed
+  :class:`ScaleDecision`\\ s; the default :class:`HysteresisPolicy`
+  uses high/low watermarks with asymmetric cooldowns (fast out, slow
+  in) so oscillating load cannot thrash membership, and falls back to
+  elastic-SD threshold nudges at the replica bounds.
+* :mod:`repro.autoscale.controller` — the hands.
+  :class:`Autoscaler` executes decisions against the
+  :class:`~repro.fleet.engine.FleetEngine` (warm scale-out, zero-drop
+  scale-in of the least-prefix-valuable replica, intra-pool SD
+  nudges), logging every action as an auditable :class:`ScaleEvent`
+  with its triggering snapshot and ring-movement cost.
+
+Wire-up is one line on the run loop::
+
+    scaler = Autoscaler(fleet, replica_factory=build_pool)
+    report = fleet.run(trace, on_tick=scaler.on_tick)
+
+The scenario zoo (:mod:`repro.workload.scenarios`) provides the load
+shapes — diurnal, flash-crowd, adversarial long-tail — the
+autoscaling scoreboard (``benchmarks/test_autoscale.py``) judges
+policies on: SLO attainment at what cost in worker-cycles.
+"""
+
+from repro.autoscale.controller import Autoscaler, ScaleEvent
+from repro.autoscale.policy import (
+    HysteresisPolicy,
+    ScaleAction,
+    ScaleDecision,
+    ScalingPolicy,
+)
+from repro.autoscale.signals import PressureSnapshot, SignalAggregator
+
+__all__ = [
+    "Autoscaler",
+    "HysteresisPolicy",
+    "PressureSnapshot",
+    "ScaleAction",
+    "ScaleDecision",
+    "ScaleEvent",
+    "ScalingPolicy",
+    "SignalAggregator",
+]

@@ -67,3 +67,7 @@ class CacheError(ReproError):
 
 class FleetError(ReproError):
     """The multi-replica fleet tier was driven into an invalid state."""
+
+
+class AutoscaleError(ReproError):
+    """The elastic autoscaling subsystem was misconfigured or misused."""

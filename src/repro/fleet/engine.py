@@ -40,6 +40,7 @@ drained DRAINING replicas retire.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
@@ -56,6 +57,7 @@ from repro.fleet.router import (
 from repro.serving.clock import VirtualClock
 from repro.serving.frontend import ServingEngine
 from repro.serving.request import RequestIdAllocator, ServingRequest
+from repro.specdec.control import EventBus, RequestEvent
 
 
 class FleetReplica:
@@ -103,6 +105,61 @@ class FleetReplica:
             worker.backlog_tokens for worker in self.frontend.workers
         )
 
+    @property
+    def queued_requests(self) -> int:
+        """Requests queued on this replica's workers (not yet live)."""
+        return sum(
+            worker.num_waiting for worker in self.frontend.workers
+        )
+
+    @property
+    def live_requests(self) -> int:
+        """Requests decoding in live slots across this replica."""
+        return sum(
+            worker.num_live for worker in self.frontend.workers
+        )
+
+    @property
+    def slot_capacity(self) -> int:
+        """Total live slots this replica offers (workers when unbounded)."""
+        total = 0
+        for worker in self.frontend.workers:
+            total += (
+                1 if worker.capacity is None else worker.capacity
+            )
+        return total
+
+    @property
+    def cache_warmth(self) -> int:
+        """Prefix-cache tokens this replica holds across its workers.
+
+        The scale-in victim signal: the replica with the least cached
+        prefix state is the cheapest to drain — retiring it forfeits
+        the fewest warm prefills (0 when no caches are attached).
+        """
+        total = 0
+        for worker in self.frontend.workers:
+            cache = worker.engine.kv_cache
+            if cache is not None:
+                total += cache.cached_tokens
+        return total
+
+    def prefix_match(self, prompt: Sequence[int]) -> int:
+        """Longest prefix of ``prompt`` this replica already holds.
+
+        The best match across the replica's workers (each probing its
+        prefix cache and in-flight requests) — the warmth signal the
+        router's spill path consults before shedding an arrival here.
+        Non-accounting: probes never skew hit rates.
+        """
+        return max(
+            (
+                worker.prefix_match(prompt)
+                for worker in self.frontend.workers
+            ),
+            default=0,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (
             f"FleetReplica(id={self.replica_id}, "
@@ -144,6 +201,19 @@ class FleetEngine:
         self.routing = routing or PrefixHashRouting()
         self.id_allocator = id_allocator or RequestIdAllocator()
         self.warmup_ticks = warmup_ticks
+        #: Fleet-wide merged lifecycle stream: every replica's events
+        #: re-published with their ``replica_id`` stamped, so consumers
+        #: (the autoscaler's signal aggregator) subscribe ONCE instead
+        #: of chasing per-replica buses across membership changes.
+        self.events = EventBus()
+        self._events: List[RequestEvent] = []
+        self.events.subscribe(self._events.append)
+        #: Worker-ticks provisioned: each non-retired replica charges
+        #: one cycle per worker per fleet tick, whether busy or idle —
+        #: the COST side of the autoscaling scoreboard (an idle
+        #: over-provisioned fleet burns worker-cycles; a drained
+        #: replica stops charging).
+        self.worker_cycles = 0
         self.replicas: List[FleetReplica] = []
         for frontend in replicas:
             self._attach(frontend)
@@ -167,6 +237,16 @@ class FleetEngine:
             len(self.replicas), frontend, now=self.clock.now
         )
         frontend.id_allocator = self.id_allocator
+        replica_id = replica.replica_id
+
+        def forward(event: RequestEvent) -> None:
+            # Re-publish onto the fleet's merged stream, stamped with
+            # the emitting replica (worker/cycle/time stamps kept).
+            self.events.publish(
+                dataclasses.replace(event, replica_id=replica_id)
+            )
+
+        frontend.subscribe(forward)
         self.replicas.append(replica)
         return replica
 
@@ -279,6 +359,28 @@ class FleetEngine:
         """Whether the fleet-wide drafter roll has work left."""
         return self._swap_drafter is not None
 
+    def subscribe(
+        self, callback: Callable[[RequestEvent], None]
+    ) -> None:
+        """Observe every lifecycle event fleet-wide as it is emitted.
+
+        One subscription covers every replica — present AND future:
+        events are forwarded onto the fleet's merged bus stamped with
+        their ``replica_id``, and replicas attached later
+        (:meth:`add_replica`) forward onto the same bus.  Consumers
+        therefore never need per-replica subscriptions that would go
+        stale across membership changes.
+        """
+        self.events.subscribe(callback)
+
+    def lifecycle_events(self) -> List[RequestEvent]:
+        """Fleet-wide merged lifecycle trail (emission order).
+
+        Every event carries its ``replica_id`` in addition to the
+        worker/cycle/time stamps the pool-level trail already had.
+        """
+        return list(self._events)
+
     def snapshot_routing(self) -> StaticRouting:
         """Freeze the placements made so far as a replayable policy.
 
@@ -298,6 +400,7 @@ class FleetEngine:
         self._dispatch_arrivals(now)
         for replica in self.replicas:
             if replica.state is not ReplicaState.RETIRED:
+                self.worker_cycles += len(replica.frontend.workers)
                 replica.frontend.tick()
         for replica in self.replicas:
             if (
@@ -358,6 +461,7 @@ class FleetEngine:
             ring_moves=self.routing.ring_moves,
             drains=self.drains,
             drafter_rolls=self.drafter_rolls,
+            worker_cycles=self.worker_cycles,
         )
 
     # -- internals ---------------------------------------------------------

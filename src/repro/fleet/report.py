@@ -42,6 +42,10 @@ class FleetReport:
             owner across membership changes.
         drains: replicas drained during the run.
         drafter_rolls: fleet-wide rolling drafter swaps completed.
+        worker_cycles: worker-ticks provisioned across the run (every
+            non-retired replica charges one cycle per worker per fleet
+            tick, busy or idle) — the cost denominator the autoscaling
+            scoreboard judges fleets by.
     """
 
     replica_ids: List[int]
@@ -55,6 +59,7 @@ class FleetReport:
     ring_moves: int = 0
     drains: int = 0
     drafter_rolls: int = 0
+    worker_cycles: int = 0
 
     # -- rolled-up view ----------------------------------------------------
 
@@ -193,6 +198,7 @@ class FleetReport:
                 "ring_moves": float(self.ring_moves),
                 "drains": float(self.drains),
                 "drafter_rolls": float(self.drafter_rolls),
+                "worker_cycles": float(self.worker_cycles),
             }
         )
         return out

@@ -19,8 +19,11 @@ cache locality but never a committed token.
   fleet-wide instead of once per replica.  A hot-spot **spill** path
   sheds load: when the hashed owner's backlog exceeds
   ``spill_factor ×`` the least-loaded replica's (plus a margin), the
-  arrival spills to the least-loaded replica — bounded load at the
-  cost of one cold prefill.  Ring membership follows the replica
+  arrival spills to the *second-warmest* replica for its prefix —
+  cooler than the owner, warmest cache first — so one hot family's
+  overflow lands on one overflow replica and pays its cold prefill
+  once (``warm_spill=False`` restores the least-loaded choice).  Ring
+  membership follows the replica
   lifecycle via :meth:`RoutingPolicy.on_join` / :meth:`on_leave`, and
   every membership change audits how many previously-routed keys moved
   owner (the report's ``ring_moves`` counter — consistent hashing's
@@ -130,6 +133,17 @@ class PrefixHashRouting(RoutingPolicy):
             trigger, so near-idle fleets do not spill on noise.
         fallback: policy used when the ring is empty or the hashed
             owner is not currently routable (least-loaded by default).
+        warm_spill: when True (default), a spilled arrival goes to the
+            *second-warmest* replica for its prefix — the replica
+            (excluding the overloaded owner, and only among replicas
+            strictly cooler than it) whose caches or in-flight
+            requests hold the longest match for the request's prompt —
+            instead of the globally least-loaded one.  Successive
+            spills of one hot family then pile onto the SAME overflow
+            replica, which pays the family's cold prefill once; a
+            load-only spill scatters the family across every cool
+            replica and pays the prefill on each.  False restores the
+            load-only behaviour (the baseline the warmth test beats).
     """
 
     name = "prefix-hash"
@@ -141,6 +155,7 @@ class PrefixHashRouting(RoutingPolicy):
         spill_factor: Optional[float] = 2.0,
         spill_margin: int = 32,
         fallback: Optional[RoutingPolicy] = None,
+        warm_spill: bool = True,
     ) -> None:
         super().__init__()
         if prefix_len < 1:
@@ -158,6 +173,7 @@ class PrefixHashRouting(RoutingPolicy):
         self.prefix_len = prefix_len
         self.spill_factor = spill_factor
         self.spill_margin = spill_margin
+        self.warm_spill = warm_spill
         self.fallback = fallback or FleetLeastLoaded()
         self.ring = ConsistentHashRing(vnodes=vnodes)
         #: Distinct keys routed so far — the audit set for measuring
@@ -215,14 +231,63 @@ class PrefixHashRouting(RoutingPolicy):
             if loads[index] > (
                 self.spill_factor * coolest + self.spill_margin
             ):
-                spilled = min(
-                    range(len(replicas)),
-                    key=lambda i: (loads[i], replicas[i].replica_id),
+                spilled = self._spill_target(
+                    request, replicas, loads, index
                 )
-                if spilled != index:
+                if spilled is not None:
                     self.spills += 1
                     return spilled
         return index
+
+    def _spill_target(
+        self,
+        request: ServingRequest,
+        replicas: Sequence,
+        loads: Sequence[int],
+        owner_index: int,
+    ) -> Optional[int]:
+        """Where an arrival shed off its hot owner should land.
+
+        Only replicas strictly cooler than the owner are candidates —
+        spilling must shed load, never trade one hot spot for another.
+        With :attr:`warm_spill`, the warmest candidate for the
+        request's prompt wins (the *second-warmest* replica overall,
+        the owner being the warmest), ties broken by load then id;
+        otherwise the least-loaded candidate (the PR 7 behaviour).
+        None when no replica is cooler than the owner.
+        """
+        candidates = [
+            i
+            for i in range(len(replicas))
+            if i != owner_index and loads[i] < loads[owner_index]
+        ]
+        if not candidates:
+            return None
+        if self.warm_spill:
+            return max(
+                candidates,
+                key=lambda i: (
+                    self._warmth(replicas[i], request.prompt),
+                    -loads[i],
+                    -replicas[i].replica_id,
+                ),
+            )
+        return min(
+            candidates,
+            key=lambda i: (loads[i], replicas[i].replica_id),
+        )
+
+    @staticmethod
+    def _warmth(replica, prompt: Sequence[int]) -> int:
+        """Longest prefix of ``prompt`` the replica already holds.
+
+        Replicas without a warmth probe (bare stubs in tests, future
+        non-caching replicas) count as cold rather than erroring.
+        """
+        probe = getattr(replica, "prefix_match", None)
+        if probe is None:
+            return 0
+        return int(probe(prompt))
 
 
 class StaticRouting(RoutingPolicy):

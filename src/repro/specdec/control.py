@@ -100,6 +100,10 @@ class RequestEvent:
             serving front-end — batch RL rollouts have no clock).
         worker_id: serving worker that emitted the event (None outside
             a worker pool).
+        replica_id: fleet replica whose pool emitted the event (stamped
+            by :meth:`~repro.fleet.engine.FleetEngine` when it forwards
+            replica events onto its merged stream; None outside a
+            fleet).
     """
 
     kind: RequestEventKind
@@ -107,6 +111,7 @@ class RequestEvent:
     cycle: int
     time: Optional[float] = None
     worker_id: Optional[int] = None
+    replica_id: Optional[int] = None
 
 
 class EventBus:
@@ -149,6 +154,19 @@ class EventBus:
             time=time,
             worker_id=self.worker_id,
         )
+        self._events.append(event)
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    def publish(self, event: RequestEvent) -> RequestEvent:
+        """Record an already-built event and fan it out unchanged.
+
+        The forwarding counterpart of :meth:`emit`: a layer merging
+        streams from lower-level buses (the fleet tier re-publishing
+        replica events stamped with their ``replica_id``) must not
+        re-stamp the event with this bus's ``worker_id``.
+        """
         self._events.append(event)
         for callback in self._subscribers:
             callback(event)

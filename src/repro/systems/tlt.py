@@ -31,6 +31,9 @@ from repro.cluster.simulator import (
 from repro.drafter.base import Drafter
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.autoscale.controller import Autoscaler
+    from repro.autoscale.policy import ScalingPolicy
+    from repro.autoscale.signals import SignalAggregator
     from repro.rl.trainer import RlConfig
     from repro.spot.trainer import SpotTrainer
     from repro.workload.prompts import Task
@@ -222,6 +225,69 @@ class _AdaptiveSdSystem(RlSystem):
         ]
         return FleetEngine(
             replicas, routing=routing, warmup_ticks=warmup_ticks
+        )
+
+    def autoscaled_fleet(
+        self,
+        target: TinyLM,
+        drafter: Drafter,
+        num_replicas: int = 1,
+        num_workers: int = 2,
+        routing: Optional[RoutingPolicy] = None,
+        warmup_ticks: int = 2,
+        policy: Optional["ScalingPolicy"] = None,
+        signals: Optional["SignalAggregator"] = None,
+        **pool_kwargs,
+    ) -> "Autoscaler":
+        """An elastic fleet: :meth:`fleet_frontend` plus its autoscaler.
+
+        Builds the fleet exactly as :meth:`fleet_frontend` would, then
+        wires an :class:`~repro.autoscale.controller.Autoscaler` whose
+        ``replica_factory`` builds scale-out pools with the SAME
+        configuration (same model, drafter, worker count, and
+        ``pool_kwargs``) — an elastic fleet is homogeneous by
+        construction.  Drive it from the run loop::
+
+            scaler = system.autoscaled_fleet(target, drafter)
+            report = scaler.fleet.run(trace, on_tick=scaler.on_tick)
+
+        Args:
+            target: the target model served by every worker.
+            drafter: the draft model shared by every replica.
+            num_replicas: starting fleet size.
+            num_workers: decode workers per pool.
+            routing: fleet routing policy (prefix-hash when omitted).
+            warmup_ticks: JOINING warm-up before a replica activates
+                (scale-out capacity arrives after this many ticks).
+            policy: scaling policy (the autoscaler's default
+                :class:`~repro.autoscale.policy.HysteresisPolicy`
+                when omitted).
+            signals: signal aggregator (a default one when omitted).
+            **pool_kwargs: forwarded to :meth:`serving_frontend` for
+                every replica, initial and scaled-out alike.
+
+        Returns:
+            The :class:`~repro.autoscale.controller.Autoscaler`; its
+            ``fleet`` attribute is the engine to run.
+        """
+        from repro.autoscale.controller import Autoscaler
+
+        fleet = self.fleet_frontend(
+            target,
+            drafter,
+            num_replicas=num_replicas,
+            num_workers=num_workers,
+            routing=routing,
+            warmup_ticks=warmup_ticks,
+            **pool_kwargs,
+        )
+        return Autoscaler(
+            fleet,
+            replica_factory=lambda: self.serving_frontend(
+                target, drafter, num_workers=num_workers, **pool_kwargs
+            ),
+            policy=policy,
+            signals=signals,
         )
 
     def publish_drafter(

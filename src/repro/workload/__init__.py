@@ -8,7 +8,10 @@ reproduced here:
 * **verifiable prompts** with rule-based rewards (the Eurus-2-RL stand-in)
   — :mod:`repro.workload.prompts`;
 * the **multi-step production trace** shape from ByteDance (Figure 2) —
-  :mod:`repro.workload.traces`.
+  :mod:`repro.workload.traces`;
+* the **scenario zoo** of time-varying load shapes (diurnal,
+  flash-crowd, adversarial long-tail) that exercise elastic
+  autoscaling — :mod:`repro.workload.scenarios`.
 """
 
 from repro.workload.lengths import (
@@ -25,6 +28,11 @@ from repro.workload.prompts import (
     SuccessorChainTask,
     Task,
     make_prompt_batch,
+)
+from repro.workload.scenarios import (
+    adversarial_longtail_trace,
+    diurnal_trace,
+    flash_crowd_trace,
 )
 from repro.workload.traces import (
     TraceStep,
@@ -53,4 +61,7 @@ __all__ = [
     "fleet_trace",
     "mixed_serving_trace",
     "shared_prefix_trace",
+    "diurnal_trace",
+    "flash_crowd_trace",
+    "adversarial_longtail_trace",
 ]

@@ -485,3 +485,209 @@ class TestSystemIntegration:
         for replica in fleet.replicas:
             for worker in replica.frontend.workers:
                 assert worker.engine.drafter is published
+
+
+class TestMergedEventStream:
+    """FleetEngine.subscribe: one fleet-wide stream, replica-tagged."""
+
+    def test_events_carry_replica_ids(self, target, trained_drafter):
+        fleet = FleetEngine(
+            [_pool(target, trained_drafter) for _ in range(2)]
+        )
+        live = []
+        fleet.subscribe(live.append)
+        fleet.run(_trace(), max_ticks=5000)
+        trail = fleet.lifecycle_events()
+        assert trail and trail == live
+        replica_ids = {r.replica_id for r in fleet.replicas}
+        assert all(e.replica_id in replica_ids for e in trail)
+        assert len({e.replica_id for e in trail}) == 2
+
+    def test_merged_stream_matches_per_replica_trails(
+        self, target, trained_drafter
+    ):
+        """Filtering the fleet stream by replica reproduces each
+        pool's own lifecycle trail (stamps untouched, only the
+        replica_id added)."""
+        fleet = FleetEngine(
+            [_pool(target, trained_drafter) for _ in range(2)]
+        )
+        fleet.run(_trace(), max_ticks=5000)
+
+        def strip(event):
+            return (
+                event.kind, event.request_id, event.cycle,
+                event.time, event.worker_id,
+            )
+
+        for replica in fleet.replicas:
+            merged = [
+                strip(e)
+                for e in fleet.lifecycle_events()
+                if e.replica_id == replica.replica_id
+            ]
+            own = [
+                strip(e)
+                for e in replica.frontend.lifecycle_events()
+            ]
+            assert merged == own
+
+    def test_late_joiner_forwards_onto_same_stream(
+        self, target, trained_drafter
+    ):
+        """One subscription covers replicas added after it was made."""
+        fleet = FleetEngine([_pool(target, trained_drafter)])
+        seen = []
+        fleet.subscribe(seen.append)
+        joined = {"done": False}
+
+        def control(engine):
+            if not joined["done"] and engine.clock.now >= 3.0:
+                joined["done"] = True
+                engine.add_replica(_pool(target, trained_drafter))
+
+        fleet.run(
+            _trace(num_tenants=4, per_tenant=5),
+            max_ticks=5000,
+            on_tick=control,
+        )
+        new_id = fleet.replicas[-1].replica_id
+        assert any(e.replica_id == new_id for e in seen)
+
+
+class TestWarmSpill:
+    """Hot-spot spill lands on the second-warmest replica for the
+    request's prefix, not the globally least-loaded one."""
+
+    def _routing_with_owner(self, prompt, members=(0, 1, 2)):
+        routing = PrefixHashRouting(
+            prefix_len=4, spill_factor=1.0, spill_margin=0
+        )
+        for replica_id in members:
+            routing.on_join(replica_id)
+        from repro.fleet.ring import prefix_key
+
+        owner = routing.ring.owner(prefix_key(prompt, 4))
+        return routing, owner
+
+    def _stub(self, replica_id, backlog, warmth=None):
+        stub = type("Stub", (), {})()
+        stub.replica_id = replica_id
+        stub.backlog_tokens = backlog
+        if warmth is not None:
+            stub.prefix_match = lambda prompt, w=warmth: w
+        return stub
+
+    def test_choose_prefers_warmth_over_load(self):
+        prompt = [5, 6, 7, 8]
+        routing, owner = self._routing_with_owner(prompt)
+        others = [i for i in (0, 1, 2) if i != owner]
+        # Owner overloaded; of the two cooler replicas the WARMER one
+        # (despite more load) should win under warm_spill.
+        stubs = {owner: self._stub(owner, backlog=100, warmth=4)}
+        stubs[others[0]] = self._stub(others[0], backlog=10, warmth=0)
+        stubs[others[1]] = self._stub(others[1], backlog=50, warmth=3)
+        replicas = [stubs[i] for i in sorted(stubs)]
+        request = ServingRequest(
+            request_id=0, prompt=prompt, max_new_tokens=4,
+            arrival_time=0.0,
+        )
+        index = routing.choose(request, replicas)
+        assert replicas[index].replica_id == others[1]
+        assert routing.spills == 1
+
+    def test_choose_without_warm_spill_is_least_loaded(self):
+        prompt = [5, 6, 7, 8]
+        routing = PrefixHashRouting(
+            prefix_len=4, spill_factor=1.0, spill_margin=0,
+            warm_spill=False,
+        )
+        for replica_id in (0, 1, 2):
+            routing.on_join(replica_id)
+        from repro.fleet.ring import prefix_key
+
+        owner = routing.ring.owner(prefix_key(prompt, 4))
+        others = [i for i in (0, 1, 2) if i != owner]
+        stubs = {owner: self._stub(owner, backlog=100, warmth=4)}
+        stubs[others[0]] = self._stub(others[0], backlog=10, warmth=0)
+        stubs[others[1]] = self._stub(others[1], backlog=50, warmth=3)
+        replicas = [stubs[i] for i in sorted(stubs)]
+        request = ServingRequest(
+            request_id=0, prompt=prompt, max_new_tokens=4,
+            arrival_time=0.0,
+        )
+        index = routing.choose(request, replicas)
+        assert replicas[index].replica_id == others[0]
+
+    def test_no_spill_when_no_replica_is_cooler(self):
+        """Spilling must shed load: when every other replica is at
+        least as hot as the owner, the arrival stays home."""
+        prompt = [5, 6, 7, 8]
+        routing, owner = self._routing_with_owner(prompt)
+        replicas = [
+            self._stub(i, backlog=100, warmth=2) for i in (0, 1, 2)
+        ]
+        request = ServingRequest(
+            request_id=0, prompt=prompt, max_new_tokens=4,
+            arrival_time=0.0,
+        )
+        index = routing.choose(request, replicas)
+        assert replicas[index].replica_id == owner
+        assert routing.spills == 0
+
+    def test_replicas_without_probe_count_as_cold(self):
+        prompt = [5, 6, 7, 8]
+        routing, owner = self._routing_with_owner(prompt)
+        others = [i for i in (0, 1, 2) if i != owner]
+        stubs = {owner: self._stub(owner, backlog=100)}
+        stubs[others[0]] = self._stub(others[0], backlog=50)
+        stubs[others[1]] = self._stub(others[1], backlog=10, warmth=2)
+        replicas = [stubs[i] for i in sorted(stubs)]
+        request = ServingRequest(
+            request_id=0, prompt=prompt, max_new_tokens=4,
+            arrival_time=0.0,
+        )
+        index = routing.choose(request, replicas)
+        assert replicas[index].replica_id == others[1]
+
+    def _hot_spot_run(self, target, trained_drafter, warm_spill):
+        routing = PrefixHashRouting(
+            spill_factor=1.0, spill_margin=0, warm_spill=warm_spill
+        )
+        fleet = FleetEngine(
+            [
+                _pool(
+                    target, trained_drafter, workers=1, max_batch=2,
+                    kv_cache_tokens=4096,
+                )
+                for _ in range(4)
+            ],
+            routing=routing,
+        )
+        trace = fleet_trace(
+            np.random.default_rng(7), 24, num_tenants=1,
+            requests_per_tenant=20, num_batch=0,
+            mean_interarrival=0.25,
+        )
+        report = fleet.run(trace, max_ticks=5000)
+        return routing, report
+
+    def test_warm_spill_pays_fewer_cold_prefills(
+        self, target, trained_drafter
+    ):
+        """Under a hot-spot spill the warm-spill router concentrates
+        one family's overflow on one overflow replica (which pays its
+        cold prefill once); the load-only router scatters it and pays
+        the prefill on every cool replica it touches."""
+        warm_routing, warm = self._hot_spot_run(
+            target, trained_drafter, warm_spill=True
+        )
+        cold_routing, cold = self._hot_spot_run(
+            target, trained_drafter, warm_spill=False
+        )
+        assert warm_routing.spills > 0
+        assert cold_routing.spills > 0
+        assert warm.prefill_launches < cold.prefill_launches
+        # Same family, same outputs: spill placement moves latency and
+        # cache locality, never committed tokens.
+        assert _responses(warm) == _responses(cold)
