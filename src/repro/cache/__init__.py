@@ -1,4 +1,4 @@
-"""Shared prefix-cache subsystem (ROADMAP: prefix-cache aware admission).
+"""Shared prefix-cache subsystem (paged block-granular KV reuse).
 
 GRPO rollout groups share their prompt by construction, and interactive
 traffic repeats system-prompt-style prefixes; both workloads pay a
@@ -6,12 +6,17 @@ prefill forward per request today.  This package owns the machinery
 that amortises it:
 
 * :class:`~repro.cache.prefix_index.PrefixIndex` — a path-compressed
-  radix tree over token sequences answering exact-membership and
-  longest-shared-prefix queries in O(query length);
-* :class:`~repro.cache.manager.KVCacheManager` — per-worker cached
-  prefix blocks (the target hidden hand-off, the substrate's stand-in
-  for a prompt's KV cache) with ref-counting by live slots, LRU
-  eviction by last-touch cycle, and hit/miss accounting.
+  radix tree over token sequences answering exact-membership,
+  longest-shared-prefix, and longest-stored-member queries in O(query
+  length);
+* :mod:`repro.cache.blocks` — fixed-size content-addressed KV blocks
+  with per-boundary positional hand-offs and a token-budgeted two-tier
+  (HOT/COLD) :class:`~repro.cache.blocks.BlockStore`;
+* :class:`~repro.cache.manager.KVCacheManager` — the per-worker facade:
+  effective-context keying, exact lookups, partial-prefix admission
+  plans (:meth:`~repro.cache.manager.KVCacheManager.plan_admission`),
+  chain-atomic pinning by live slots, and tiered eviction with
+  hit/miss/partial/tier accounting.
 
 The engine consumes it through admission
 (:class:`~repro.specdec.control.PrefixAwareAdmission` co-admits waiting
@@ -21,13 +26,27 @@ serves all of them) and the serving layer through dispatch
 arrivals to the worker already holding their prefix).
 """
 
-from repro.cache.manager import CacheEntry, CacheStats, KVCacheManager
+from repro.cache.blocks import (
+    BlockTier,
+    KVBlock,
+    block_boundaries,
+    effective_prefill_context,
+)
+from repro.cache.manager import (
+    AdmissionPlan,
+    CacheStats,
+    KVCacheManager,
+)
 from repro.cache.prefix_index import PrefixIndex, common_prefix_len
 
 __all__ = [
-    "CacheEntry",
+    "AdmissionPlan",
+    "BlockTier",
     "CacheStats",
+    "KVBlock",
     "KVCacheManager",
     "PrefixIndex",
+    "block_boundaries",
     "common_prefix_len",
+    "effective_prefill_context",
 ]

@@ -1,77 +1,99 @@
-"""Per-worker cached prefix blocks: ref-counting, eviction, accounting.
+"""Per-worker paged prefix cache: blocks, ref-counting, tiered eviction.
 
-A :class:`KVCacheManager` owns the cached *prefix blocks* of one decode
-worker.  In the real system a block is the KV cache of a prompt prefix;
-on this algorithmic substrate the reusable artifact is the target
-**hidden hand-off** — the (num_layers, hidden_size) stack at a prompt's
-second-to-last position that seeds the drafter
+A :class:`KVCacheManager` owns the cached *prefix state* of one decode
+worker.  In the real system that state is the KV cache of a prompt
+prefix; on this algorithmic substrate the reusable artifact is the
+target **hidden hand-off** — the (num_layers, hidden_size) stack at a
+position that seeds the drafter
 (:func:`repro.specdec.engine.initial_hiddens`).  The hand-off is a pure
-function of the prompt tokens, so serving it from cache is
-byte-identical to recomputing it; what the cache saves is the prefill
-forward itself (one per shared prompt instead of one per group member —
-the GRPO-rollout amortisation the paper's workload is built from).
+function of the tokens in the model's context window, so serving it
+from cache is byte-identical to recomputing it; what the cache saves is
+prefill compute (tokens pushed through the target).
 
-Semantics:
+Since the paged rework the manager is a facade over
+:class:`~repro.cache.blocks.BlockStore`:
 
-* **Exact reuse** — :meth:`lookup` returns a *copy* of the cached
-  hand-off only on a full-prompt match (the hand-off depends on every
-  prompt token).  Partial matches still matter: :meth:`longest_prefix`
-  scores them for cache-affinity dispatch and prefix-aware admission
-  without touching the hit/miss counters.
-* **Ref-counting** — live slots pin the entry their prompt was served
-  from (:meth:`acquire`/:meth:`release`); eviction never removes a
-  pinned entry, so capacity pressure can never corrupt a live slot.
-  Parking a request releases its ref; resuming re-acquires it.
-* **Eviction** — LRU by last-touch cycle (insertion and every hit
-  touch), ties broken by insertion order so eviction is deterministic
-  under a fixed seed, like everything else in the engine.
+* **Keys are effective contexts** — a prompt is keyed by
+  :func:`~repro.cache.blocks.effective_prefill_context` (the trailing
+  ``context_window`` tokens of ``p[:-1]``), the tokens its hand-off
+  actually depends on.  Window-equivalent prompts share cache state
+  even when their early tokens differ.
+* **Storage is block-granular** — keys split into fixed-size,
+  content-addressed blocks with per-boundary positional hand-offs;
+  prompts sharing a prefix share the underlying blocks (copy-on-write:
+  divergence allocates only divergent-suffix blocks).
+* **Admission monetises partial matches** — :meth:`plan_admission`
+  consults the radix :class:`~repro.cache.prefix_index.PrefixIndex`,
+  reuses every whole cached block of the matched prefix, and tells the
+  engine to prefill only the suffix beyond the last cached boundary.
+* **Ref-counting is chain-atomic** — :meth:`acquire`/:meth:`release`
+  pin/unpin every block of a key's chain, so eviction can never touch
+  state a live slot was served from.
+* **Eviction is tiered** — cold unpinned blocks demote into a budgeted
+  second tier (promoted back on re-touch) before being dropped; see
+  :mod:`repro.cache.blocks` for the victim order and tier mechanics.
+
+Accounting: :meth:`lookup`/:meth:`plan_admission` count exact hits and
+misses (partial reuse is tracked separately — ``partial_hits`` /
+``reused_tokens`` — so the exact hit rate the reports surface keeps its
+meaning); probes (:meth:`longest_prefix`, :meth:`contains`,
+:meth:`covers_prompt`, :meth:`prompt_match`) never touch the counters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.cache.blocks import (
+    BlockStore,
+    KVBlock,
+    block_boundaries,
+    effective_prefill_context,
+)
 from repro.cache.prefix_index import PrefixIndex, TokenSeq
 from repro.errors import CacheError
 
 
 @dataclass
-class CacheEntry:
-    """One cached prefix block.
-
-    Attributes:
-        tokens: the full prompt prefix this block covers.
-        hidden: the target hidden hand-off at its second-to-last
-            position (stored copy; lookups hand out further copies).
-        refcount: live slots currently pinning this entry.
-        last_touch: engine cycle of the most recent insert or hit.
-        sequence_number: insertion ordinal (deterministic LRU ties).
-    """
-
-    tokens: TokenSeq
-    hidden: np.ndarray
-    refcount: int = 0
-    last_touch: int = 0
-    sequence_number: int = 0
-
-    @property
-    def size_tokens(self) -> int:
-        """Capacity charge of this entry, in prompt tokens."""
-        return len(self.tokens)
-
-
-@dataclass
 class CacheStats:
-    """Hit/miss/eviction accounting (monotonic counters)."""
+    """Hit/miss/eviction/tier accounting (monotonic counters).
+
+    ``rejected`` used to be one ambiguous counter that mixed two
+    different conditions; it is now the sum of the split pair:
+
+    * ``rejected_pinned`` — inserts declined because pinned blocks
+      alone left no room (evicting them would corrupt a live slot);
+    * ``rejected_oversize`` — inserts declined because the key exceeds
+      the cache's total capacity outright.
+    """
 
     hits: int = 0
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
-    rejected: int = 0  # inserts skipped because pinned entries filled it
+    rejected_pinned: int = 0
+    rejected_oversize: int = 0
+    #: Admissions that reused a non-empty cached block prefix without
+    #: an exact hit (the partial matches the paged tier monetises).
+    partial_hits: int = 0
+    #: Prompt tokens skipped at admission via block reuse.
+    reused_tokens: int = 0
+    #: HOT blocks moved to the COLD tier under capacity pressure.
+    demotions: int = 0
+    #: COLD blocks moved back to HOT on re-touch.
+    promotions: int = 0
+    #: Touches served by a COLD-tier block (the demotion tier paying off).
+    cold_hits: int = 0
+    #: Evictions that dropped a COLD-tier block out of the cache.
+    cold_evictions: int = 0
+
+    @property
+    def rejected(self) -> int:
+        """Inserts declined for any reason (pinned + oversize)."""
+        return self.rejected_pinned + self.rejected_oversize
 
     @property
     def lookups(self) -> int:
@@ -86,41 +108,113 @@ class CacheStats:
         return self.hits / self.lookups
 
 
-class KVCacheManager:
-    """Bounded store of prefix blocks with ref-counts and LRU eviction.
+@dataclass
+class AdmissionPlan:
+    """What the cache can contribute to one prompt's prefill.
 
-    Args:
-        capacity_tokens: total prompt tokens the cache may hold; an
-            insert that cannot fit after evicting every unpinned entry
-            is skipped (never evicts pinned blocks).
+    Attributes:
+        hidden: the final hand-off on an exact hit (a private copy the
+            slot owns), else None.
+        compute_start: first key position the engine must compute.
+            ``len(key)`` on an exact hit (nothing to compute); with
+            partial block reuse, the first position past the last
+            reusable boundary — capped at ``len(key) - 1`` so the
+            final hand-off is always recomputed when it was not
+            stored (the classic recompute-last-token rule).
+        reused_tokens: key positions the plan skipped (cache blocks
+            plus same-wave pending blocks).
     """
 
-    def __init__(self, capacity_tokens: int) -> None:
+    hidden: Optional[np.ndarray]
+    compute_start: int
+    reused_tokens: int
+
+    @property
+    def is_hit(self) -> bool:
+        """Whether the plan served an exact cached hand-off."""
+        return self.hidden is not None
+
+
+class KVCacheManager:
+    """Bounded paged store of prefix blocks with chain pins and tiers.
+
+    Args:
+        capacity_tokens: HOT-tier token budget; an insert that cannot
+            fit after demoting/evicting every unpinned block is
+            declined (pinned blocks are never touched).
+        block_size: tokens per block.  ``None`` is the degenerate
+            exact-match mode — each key is one monolithic block, no
+            partial reuse (the ablation baseline).
+        cold_capacity_tokens: COLD demotion-tier budget (0 = evicted
+            blocks are dropped outright, the pre-paged behaviour).
+        context_window: the target model's window, used to canonicalise
+            prompts into effective-context keys.  ``None`` keys on the
+            full ``p[:-1]`` (the engine wires the real window in when
+            it attaches the cache).
+    """
+
+    def __init__(
+        self,
+        capacity_tokens: int,
+        block_size: Optional[int] = 8,
+        cold_capacity_tokens: int = 0,
+        context_window: Optional[int] = None,
+    ) -> None:
         if capacity_tokens < 1:
             raise CacheError(
                 f"capacity_tokens must be >= 1, got {capacity_tokens}"
             )
+        if block_size is not None and block_size < 1:
+            raise CacheError(
+                f"block_size must be >= 1 or None, got {block_size}"
+            )
+        if cold_capacity_tokens < 0:
+            raise CacheError(
+                f"cold_capacity_tokens must be >= 0, "
+                f"got {cold_capacity_tokens}"
+            )
+        if context_window is not None and context_window < 1:
+            raise CacheError(
+                f"context_window must be >= 1 or None, "
+                f"got {context_window}"
+            )
         self.capacity_tokens = capacity_tokens
+        self.block_size = block_size
+        self.cold_capacity_tokens = cold_capacity_tokens
+        self.context_window = context_window
         self.stats = CacheStats()
-        self._entries: Dict[TokenSeq, CacheEntry] = {}
         self._index = PrefixIndex()
-        self._cached_tokens = 0
-        self._next_sequence = 0
+        self._store = BlockStore(
+            capacity_tokens,
+            cold_capacity_tokens,
+            self.stats,
+            on_drop=self._unindex,
+        )
 
     # -- state -------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._store)
 
     @property
     def num_entries(self) -> int:
-        """Cached prefix blocks."""
-        return len(self._entries)
+        """Resident blocks across both tiers."""
+        return len(self._store)
 
     @property
     def cached_tokens(self) -> int:
-        """Prompt tokens currently held."""
-        return self._cached_tokens
+        """Tokens currently resident (HOT + COLD)."""
+        return self._store.cached_tokens
+
+    @property
+    def hot_tokens(self) -> int:
+        """Tokens resident in the HOT tier."""
+        return self._store.hot_tokens
+
+    @property
+    def cold_tokens(self) -> int:
+        """Tokens resident in the COLD demotion tier."""
+        return self._store.cold_tokens
 
     @property
     def hit_rate(self) -> float:
@@ -128,40 +222,73 @@ class KVCacheManager:
         return self.stats.hit_rate
 
     def refcount(self, tokens: Sequence[int]) -> int:
-        """Pin count of an entry (0 when absent)."""
-        entry = self._entries.get(tuple(int(t) for t in tokens))
-        return 0 if entry is None else entry.refcount
+        """Pin count of a key's chain (its tail block; 0 when absent)."""
+        block = self._store.get(self._key(tokens))
+        return 0 if block is None else block.refcount
 
-    def entries(self) -> List[CacheEntry]:
-        """Snapshot of cached entries in insertion order."""
+    def blocks(self) -> List[KVBlock]:
+        """Snapshot of resident blocks in creation order."""
         return sorted(
-            self._entries.values(), key=lambda e: e.sequence_number
+            self._store.blocks.values(),
+            key=lambda b: b.sequence_number,
         )
+
+    # -- keying ------------------------------------------------------------
+
+    def prefill_key(self, prompt: Sequence[int]) -> TokenSeq:
+        """Canonical cache key of a prompt: its effective context."""
+        return effective_prefill_context(prompt, self.context_window)
+
+    def covers_prompt(self, prompt: Sequence[int]) -> bool:
+        """Whether a prompt's full hand-off is cached (no accounting).
+
+        The exact-reuse probe for admission policies: True when the
+        prompt's effective-context chain is resident through its tail
+        block *with* a stored hand-off — the match the prefill stage
+        can serve without computing anything.
+        """
+        key = self.prefill_key(prompt)
+        if not key:
+            return False
+        tail = self._store.get(key)
+        return tail is not None and tail.handoff is not None
+
+    def prompt_match(self, prompt: Sequence[int]) -> int:
+        """Leading effective-context tokens shared with the cache.
+
+        The partial-match score for affinity dispatch and min-shared
+        admission, measured in the prompt's *key* space (so two
+        window-equivalent prompts score as the match they actually
+        share).  Non-accounting.
+        """
+        key = self.prefill_key(prompt)
+        return self._index.longest_prefix(key) if key else 0
 
     # -- queries -----------------------------------------------------------
 
     def lookup(
         self, tokens: Sequence[int], cycle: int
     ) -> Optional[np.ndarray]:
-        """Exact-match lookup; counts a hit or a miss.
+        """Exact-match lookup on a raw key; counts a hit or a miss.
 
-        Returns a *copy* of the cached hidden hand-off (callers own
-        their slot state; eviction must never reach into a live slot),
-        or None on miss.  A hit refreshes the entry's last-touch cycle.
+        Returns a *copy* of the cached hand-off (callers own their
+        slot state; eviction must never reach into a live slot), or
+        None on miss.  A hit refreshes the whole chain's recency,
+        promoting any COLD blocks back to HOT.
         """
-        key = tuple(int(t) for t in tokens)
-        entry = self._entries.get(key)
-        if entry is None:
+        key = self._key(tokens)
+        tail = self._store.get(key)
+        if tail is None or tail.handoff is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        entry.last_touch = cycle
-        return entry.hidden.copy()
+        self._touch_chain(key, cycle)
+        return tail.handoff.copy()
 
     def longest_prefix(self, tokens: Sequence[int]) -> int:
-        """Leading tokens shared with any cached prefix (no accounting).
+        """Leading tokens shared with any cached block (no accounting).
 
-        The probe dispatch and admission policies rank candidates by;
+        Probed by dispatch and admission policies to rank candidates;
         it deliberately does NOT count toward hit/miss statistics —
         policies probe speculatively and would otherwise drown the
         hit-rate signal the reports surface.
@@ -169,120 +296,199 @@ class KVCacheManager:
         return self._index.longest_prefix(tokens)
 
     def contains(self, tokens: Sequence[int]) -> bool:
-        """Whether the exact prefix is cached (no accounting)."""
-        return tuple(int(t) for t in tokens) in self._entries
+        """Whether the exact key's tail block is resident (no accounting)."""
+        return self._store.get(self._key(tokens)) is not None
+
+    def plan_admission(
+        self,
+        key: Sequence[int],
+        cycle: int,
+        pending: Optional[frozenset] = None,
+    ) -> AdmissionPlan:
+        """Plan one prompt's prefill against the cache (accounting).
+
+        Exactly one hit or miss is recorded per call.  On a miss the
+        plan consults the radix index for the longest shared prefix,
+        walks the block boundaries, and reuses every whole cached
+        block — touching (and thereby promoting) each one.  Boundaries
+        covered by ``pending`` — blocks another leader of the same
+        admission wave is already computing — extend the reuse without
+        touching cache statistics (same-wave coalescing is not a cache
+        consultation).
+        """
+        key = self._key(key)
+        if not key:
+            return AdmissionPlan(None, 0, 0)
+        tail = self._store.get(key)
+        if tail is not None and tail.handoff is not None:
+            self.stats.hits += 1
+            self._touch_chain(key, cycle)
+            return AdmissionPlan(
+                tail.handoff.copy(), len(key), len(key)
+            )
+        self.stats.misses += 1
+        shared = self._index.longest_prefix(key)
+        reuse = 0
+        for end in block_boundaries(len(key), self.block_size):
+            block = (
+                self._store.get(key[:end]) if end <= shared else None
+            )
+            if block is not None:
+                self._store.touch(block, cycle)
+                reuse = end
+            elif pending is not None and key[:end] in pending:
+                reuse = end
+            else:
+                break
+        # The final hand-off was not stored: recompute at least the
+        # last position (reuse may cover the whole key when its tail
+        # block exists without one, or is pending in this wave).
+        compute_start = min(reuse, len(key) - 1)
+        if compute_start > 0:
+            self.stats.partial_hits += 1
+            self.stats.reused_tokens += compute_start
+        return AdmissionPlan(None, compute_start, compute_start)
 
     # -- mutation ----------------------------------------------------------
 
     def insert(
         self, tokens: Sequence[int], hidden: np.ndarray, cycle: int
     ) -> bool:
-        """Cache a prefix block, evicting LRU unpinned entries to fit.
+        """Cache a key with its final hand-off (legacy single entry).
 
-        Returns True when the block is cached afterwards (re-inserting
-        an existing key just refreshes its touch cycle).  Returns False
-        when the block cannot fit even after evicting every unpinned
-        entry — pinned blocks are never evicted, so under extreme
-        pressure the cache declines new entries rather than corrupting
-        state a live slot depends on.
+        Splits the key into blocks; interior boundaries carry no
+        stored hand-off (they still license prefix reuse — recompute
+        is pure), the tail carries ``hidden``.
         """
-        key = tuple(int(t) for t in tokens)
+        key = self._key(tokens)
         if not key:
             raise CacheError("cannot cache an empty token sequence")
-        existing = self._entries.get(key)
-        if existing is not None:
-            existing.last_touch = cycle
-            return True
-        size = len(key)
-        if size > self.capacity_tokens:
-            self.stats.rejected += 1
+        return self.insert_chain(key, {len(key): hidden}, cycle)
+
+    def insert_chain(
+        self,
+        key: Sequence[int],
+        handoffs: Mapping[int, np.ndarray],
+        cycle: int,
+    ) -> bool:
+        """Cache a key's block chain with per-boundary hand-offs.
+
+        ``handoffs`` maps covered-prefix lengths (block boundaries) to
+        the hidden stack at that boundary's last position.  Existing
+        blocks are refreshed (and back-filled with a hand-off when
+        they lacked one); missing blocks are admitted in order.  The
+        walk stops at the first block that cannot be admitted —
+        inserting deeper blocks behind a hole would strand them — so a
+        declined insert still leaves a reusable prefix behind.
+
+        Returns True when the chain is resident through its tail block
+        afterwards.
+        """
+        key = self._key(key)
+        if not key:
+            raise CacheError("cannot cache an empty token sequence")
+        if len(key) > self.capacity_tokens:
+            self.stats.rejected_oversize += 1
             return False
-        if not self._make_room(size):
-            self.stats.rejected += 1
-            return False
-        entry = CacheEntry(
-            tokens=key,
-            hidden=np.asarray(hidden).copy(),
-            last_touch=cycle,
-            sequence_number=self._next_sequence,
-        )
-        self._next_sequence += 1
-        self._entries[key] = entry
-        self._index.insert(key)
-        self._cached_tokens += size
-        self.stats.insertions += 1
+        start = 0
+        for end in block_boundaries(len(key), self.block_size):
+            prefix = key[:end]
+            block = self._store.get(prefix)
+            if block is not None:
+                self._store.touch(block, cycle)
+                if block.handoff is None and end in handoffs:
+                    block.handoff = np.asarray(
+                        handoffs[end]
+                    ).copy()
+            else:
+                handoff = handoffs.get(end)
+                block = self._store.add(
+                    prefix, start, handoff, cycle
+                )
+                if block is None:
+                    self.stats.rejected_pinned += 1
+                    return False
+                self._index.insert(prefix)
+                self.stats.insertions += 1
+            start = end
         return True
 
     def acquire(self, tokens: Sequence[int]) -> bool:
-        """Pin the entry covering ``tokens`` (False when absent)."""
-        entry = self._entries.get(tuple(int(t) for t in tokens))
-        if entry is None:
+        """Pin every block of a key's chain (False unless ALL resident).
+
+        All-or-nothing: a partially resident chain is not pinned at
+        all, so release can never underflow a block that was absent at
+        acquire time.
+        """
+        chain = self._chain(self._key(tokens))
+        if chain is None:
             return False
-        entry.refcount += 1
+        for block in chain:
+            block.refcount += 1
         return True
 
     def release(self, tokens: Sequence[int]) -> bool:
-        """Unpin the entry covering ``tokens`` (False when absent).
+        """Unpin a key's chain (False when its tail is absent).
 
         Releasing below zero raises — a double release is a lifecycle
         bug in the caller, not a condition to paper over.
         """
-        entry = self._entries.get(tuple(int(t) for t in tokens))
-        if entry is None:
+        key = self._key(tokens)
+        chain = self._chain(key)
+        if chain is None:
             return False
-        if entry.refcount < 1:
+        if any(block.refcount < 1 for block in chain):
             raise CacheError(
-                f"release() without a matching acquire() for "
-                f"{entry.tokens!r}"
+                f"release() without a matching acquire() for {key!r}"
             )
-        entry.refcount -= 1
+        for block in chain:
+            block.refcount -= 1
         return True
 
     def evict(self, tokens: Sequence[int]) -> bool:
-        """Explicitly drop an entry (refuses while pinned)."""
-        key = tuple(int(t) for t in tokens)
-        entry = self._entries.get(key)
-        if entry is None:
+        """Explicitly drop a key's tail block (refuses while pinned).
+
+        Interior blocks of the chain stay resident — they may be
+        shared with other keys and still license prefix reuse; unused
+        ones age out through the tiered LRU.
+        """
+        block = self._store.get(self._key(tokens))
+        if block is None:
             return False
-        if entry.refcount > 0:
+        if block.refcount > 0:
             raise CacheError(
-                f"cannot evict pinned entry {key!r} "
-                f"(refcount {entry.refcount})"
+                f"cannot evict pinned entry {tuple(tokens)!r} "
+                f"(refcount {block.refcount})"
             )
-        self._drop(entry)
+        self._store.drop(block)
         return True
 
     # -- internals ---------------------------------------------------------
 
-    def _make_room(self, size: int) -> bool:
-        """Evict LRU unpinned entries until ``size`` tokens fit.
+    @staticmethod
+    def _key(tokens: Sequence[int]) -> TokenSeq:
+        return tuple(int(t) for t in tokens)
 
-        Checked for feasibility FIRST: when pinned entries alone leave
-        no room, nothing is evicted — sweeping the whole warm cache
-        only to reject the insert anyway would trade every future hit
-        for nothing.
-        """
-        if self._cached_tokens + size <= self.capacity_tokens:
-            return True
-        pinned = sum(
-            e.size_tokens
-            for e in self._entries.values()
-            if e.refcount > 0
-        )
-        if pinned + size > self.capacity_tokens:
-            return False
-        victims = sorted(
-            (e for e in self._entries.values() if e.refcount == 0),
-            key=lambda e: (e.last_touch, e.sequence_number),
-        )
-        for victim in victims:
-            self._drop(victim)
-            if self._cached_tokens + size <= self.capacity_tokens:
-                return True
-        return self._cached_tokens + size <= self.capacity_tokens
+    def _boundaries(self, key: TokenSeq) -> List[int]:
+        return block_boundaries(len(key), self.block_size)
 
-    def _drop(self, entry: CacheEntry) -> None:
-        del self._entries[entry.tokens]
-        self._index.remove(entry.tokens)
-        self._cached_tokens -= entry.size_tokens
-        self.stats.evictions += 1
+    def _chain(self, key: TokenSeq) -> Optional[List[KVBlock]]:
+        """Every block of ``key``'s chain, or None unless all resident."""
+        if not key:
+            return None
+        chain: List[KVBlock] = []
+        for end in self._boundaries(key):
+            block = self._store.get(key[:end])
+            if block is None:
+                return None
+            chain.append(block)
+        return chain
+
+    def _touch_chain(self, key: TokenSeq, cycle: int) -> None:
+        for end in self._boundaries(key):
+            block = self._store.get(key[:end])
+            if block is not None:
+                self._store.touch(block, cycle)
+
+    def _unindex(self, block: KVBlock) -> None:
+        self._index.remove(block.prefix)

@@ -186,6 +186,34 @@ class PrefixIndex:
             node = child
         return position
 
+    def longest_member(self, tokens: Sequence[int]) -> int:
+        """Length of the longest STORED sequence that prefixes ``tokens``.
+
+        Unlike :meth:`longest_prefix` — which credits partial edge
+        matches that correspond to no stored sequence — this only
+        counts terminal nodes, so the answer is always the length of an
+        actual member.  The block-granular cache uses it to bound the
+        boundary walk: every cached block's prefix is a member, so no
+        block deeper than this can exist for the query.  Returns 0 when
+        no member is a prefix of the query.
+        """
+        key = tuple(int(t) for t in tokens)
+        best = 0
+        node = self._root
+        position = 0
+        while position < len(key):
+            child = node.children.get(key[position])
+            if child is None:
+                return best
+            shared = _common_len(child.edge, key[position:])
+            if shared < len(child.edge):
+                return best
+            position += shared
+            node = child
+            if node.terminal:
+                best = position
+        return best
+
     def iter_sequences(self) -> Iterator[TokenSeq]:
         """Yield every stored sequence (depth-first, token order)."""
         stack: List[Tuple[_Node, TokenSeq]] = [(self._root, ())]

@@ -103,6 +103,22 @@ class FleetReport:
             worker_prefill_saved=self._concat("worker_prefill_saved"),
             worker_draft_launches=self._concat("worker_draft_launches"),
             worker_draft_saved=self._concat("worker_draft_saved"),
+            worker_prefill_tokens=self._concat("worker_prefill_tokens"),
+            worker_prefill_tokens_saved=self._concat(
+                "worker_prefill_tokens_saved"
+            ),
+            worker_cache_demotions=self._concat(
+                "worker_cache_demotions"
+            ),
+            worker_cache_promotions=self._concat(
+                "worker_cache_promotions"
+            ),
+            worker_cache_cold_hits=self._concat(
+                "worker_cache_cold_hits"
+            ),
+            worker_cache_cold_evictions=self._concat(
+                "worker_cache_cold_evictions"
+            ),
         )
 
     def _concat(self, attribute: str) -> List[int]:
@@ -147,6 +163,16 @@ class FleetReport:
     def prefill_launches_saved(self) -> int:
         """Prefill forwards avoided fleet-wide (caches + coalescing)."""
         return self.pooled().prefill_launches_saved
+
+    @property
+    def prefill_tokens(self) -> int:
+        """Prompt tokens actually prefilled across every replica."""
+        return self.pooled().prefill_tokens
+
+    @property
+    def prefill_tokens_saved(self) -> int:
+        """Prompt tokens avoided fleet-wide (hits + block reuse)."""
+        return self.pooled().prefill_tokens_saved
 
     @property
     def draft_launches(self) -> int:

@@ -327,7 +327,7 @@ class ServingWorker:
         best = 0
         cache = self.engine.kv_cache
         if cache is not None:
-            best = cache.longest_prefix(tokens)
+            best = cache.prompt_match(tokens)
         scheduler = self.engine.scheduler
         in_flight = [slot.request for slot in scheduler.live]
         in_flight.extend(
@@ -451,8 +451,14 @@ class ServingEngine:
         kv_cache_tokens: when set, every worker gets its own
             :class:`~repro.cache.manager.KVCacheManager` of this token
             capacity — prefills of repeated prompts become cache hits,
+            partial prefix matches prefill only their uncovered suffix,
             and :class:`~repro.serving.dispatch.PrefixAffinityDispatch`
             can route arrivals to the worker holding their prefix.
+        kv_cache_block_size: tokens per KV block in each worker's
+            cache (``None`` = exact-match mode: whole-key blocks, no
+            partial reuse — the ablation baseline).
+        kv_cache_cold_tokens: budget of each cache's COLD demotion
+            tier (0 = evict outright, the classic single-tier LRU).
         id_allocator: the request-id namespace this pool mints from.
             Pass one shared :class:`~repro.serving.request.
             RequestIdAllocator` to every replica of a fleet so
@@ -479,6 +485,8 @@ class ServingEngine:
         group_affinity: bool = False,
         admission: Optional[AdmissionPolicy] = None,
         kv_cache_tokens: Optional[int] = None,
+        kv_cache_block_size: Optional[int] = 8,
+        kv_cache_cold_tokens: int = 0,
         id_allocator: Optional[RequestIdAllocator] = None,
     ) -> None:
         if num_workers < 1:
@@ -493,6 +501,16 @@ class ServingEngine:
         if kv_cache_tokens is not None and kv_cache_tokens < 1:
             raise ConfigError(
                 f"kv_cache_tokens must be >= 1, got {kv_cache_tokens}"
+            )
+        if kv_cache_block_size is not None and kv_cache_block_size < 1:
+            raise ConfigError(
+                f"kv_cache_block_size must be >= 1 or None, "
+                f"got {kv_cache_block_size}"
+            )
+        if kv_cache_cold_tokens < 0:
+            raise ConfigError(
+                f"kv_cache_cold_tokens must be >= 0, "
+                f"got {kv_cache_cold_tokens}"
             )
         self.clock = VirtualClock()
         self.dispatch = dispatch or RoundRobinDispatch()
@@ -522,7 +540,12 @@ class ServingEngine:
                 ),
                 admission=admission,
                 kv_cache=(
-                    KVCacheManager(kv_cache_tokens)
+                    KVCacheManager(
+                        kv_cache_tokens,
+                        block_size=kv_cache_block_size,
+                        cold_capacity_tokens=kv_cache_cold_tokens,
+                        context_window=target.config.context_window,
+                    )
                     if kv_cache_tokens is not None
                     else None
                 ),
@@ -880,6 +903,28 @@ class ServingEngine:
             ],
             worker_draft_saved=[
                 w.engine.draft_launches_saved for w in self.workers
+            ],
+            worker_prefill_tokens=[
+                w.engine.prefill_tokens for w in self.workers
+            ],
+            worker_prefill_tokens_saved=[
+                w.engine.prefill_tokens_saved for w in self.workers
+            ],
+            worker_cache_demotions=[
+                0 if cache is None else cache.stats.demotions
+                for cache in caches
+            ],
+            worker_cache_promotions=[
+                0 if cache is None else cache.stats.promotions
+                for cache in caches
+            ],
+            worker_cache_cold_hits=[
+                0 if cache is None else cache.stats.cold_hits
+                for cache in caches
+            ],
+            worker_cache_cold_evictions=[
+                0 if cache is None else cache.stats.cold_evictions
+                for cache in caches
             ],
         )
 

@@ -154,6 +154,17 @@ class ServingReport:
             issued while tree-drafting.
         worker_draft_saved: drafter launches each worker avoided versus
             per-node drafting (the flat tree build's amortisation).
+        worker_prefill_tokens: prompt tokens each worker actually
+            prefilled (suffixes beyond cached block coverage).
+        worker_prefill_tokens_saved: prompt tokens each worker avoided
+            prefilling (exact hits, same-wave sharing, block reuse).
+        worker_cache_demotions: blocks each worker's cache demoted
+            HOT -> COLD under capacity pressure.
+        worker_cache_promotions: COLD blocks promoted back to HOT on
+            re-touch.
+        worker_cache_cold_hits: touches served by a COLD-tier block.
+        worker_cache_cold_evictions: blocks dropped out of the COLD
+            tier entirely.
     """
 
     records: List[RequestRecord]
@@ -170,6 +181,12 @@ class ServingReport:
     worker_prefill_saved: List[int] = field(default_factory=list)
     worker_draft_launches: List[int] = field(default_factory=list)
     worker_draft_saved: List[int] = field(default_factory=list)
+    worker_prefill_tokens: List[int] = field(default_factory=list)
+    worker_prefill_tokens_saved: List[int] = field(default_factory=list)
+    worker_cache_demotions: List[int] = field(default_factory=list)
+    worker_cache_promotions: List[int] = field(default_factory=list)
+    worker_cache_cold_hits: List[int] = field(default_factory=list)
+    worker_cache_cold_evictions: List[int] = field(default_factory=list)
 
     # -- slices ------------------------------------------------------------
 
@@ -291,6 +308,47 @@ class ServingReport:
         return sum(self.worker_prefill_saved)
 
     @property
+    def prefill_tokens(self) -> int:
+        """Prompt tokens the pool actually prefilled.
+
+        The token-granular cost the paged block cache shrinks: each
+        computed prompt is charged only its suffix beyond cached block
+        coverage, so this drops below the launch-equivalent total
+        whenever partial prefixes are reused.
+        """
+        return sum(self.worker_prefill_tokens)
+
+    @property
+    def prefill_tokens_saved(self) -> int:
+        """Prompt tokens the pool avoided prefilling.
+
+        Exact hits and same-wave duplicates save their whole effective
+        context; block-granular admission saves the covered prefix of
+        partial matches (0 when no cache is attached).
+        """
+        return sum(self.worker_prefill_tokens_saved)
+
+    @property
+    def cache_demotions(self) -> int:
+        """Blocks demoted HOT -> COLD across every worker's cache."""
+        return sum(self.worker_cache_demotions)
+
+    @property
+    def cache_promotions(self) -> int:
+        """COLD blocks promoted back to HOT across the pool."""
+        return sum(self.worker_cache_promotions)
+
+    @property
+    def cache_cold_hits(self) -> int:
+        """Touches served by COLD-tier blocks across the pool."""
+        return sum(self.worker_cache_cold_hits)
+
+    @property
+    def cache_cold_evictions(self) -> int:
+        """Blocks dropped out of the COLD tier across the pool."""
+        return sum(self.worker_cache_cold_evictions)
+
+    @property
     def draft_launches(self) -> int:
         """Batched drafter launches the pool issued (tree path)."""
         return sum(self.worker_draft_launches)
@@ -372,6 +430,8 @@ class ServingReport:
             "prefix_hit_rate": self.prefix_hit_rate,
             "prefill_launches": float(self.prefill_launches),
             "prefill_launches_saved": float(self.prefill_launches_saved),
+            "prefill_tokens": float(self.prefill_tokens),
+            "prefill_tokens_saved": float(self.prefill_tokens_saved),
             "draft_launches": float(self.draft_launches),
             "draft_launches_saved": float(self.draft_launches_saved),
         }

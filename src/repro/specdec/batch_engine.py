@@ -81,7 +81,11 @@ from repro.specdec.control import (
     EventBus,
     RequestEventKind,
 )
-from repro.specdec.engine import initial_hiddens
+from repro.cache.blocks import (
+    block_boundaries,
+    effective_prefill_context,
+)
+from repro.specdec.engine import initial_hiddens, suffix_prefill_hiddens
 from repro.specdec.linear import linear_decode_steps
 from repro.specdec.metrics import SdCycleStats, SdRunMetrics
 from repro.specdec.scheduler import (
@@ -204,6 +208,13 @@ class BatchedSpecDecodeEngine:
         self.sd_manager = sd_manager
         self.admission = admission
         self.kv_cache = kv_cache
+        if (
+            kv_cache is not None
+            and getattr(kv_cache, "context_window", None) is None
+        ):
+            # Cache keys must match what the hand-off actually depends
+            # on: the target's effective context (the window bugfix).
+            kv_cache.context_window = target.config.context_window
         #: Lifecycle event stream (the EngineControl contact surface).
         self.events = EventBus()
         #: Optional virtual-time source stamped onto events (wired by
@@ -217,6 +228,8 @@ class BatchedSpecDecodeEngine:
         self._reports: List[BatchCycleReport] = []
         self._prefill_launches = 0
         self._prefill_saved = 0
+        self._prefill_tokens = 0
+        self._prefill_tokens_saved = 0
         self._draft_launches = 0
         self._draft_saved = 0
         #: request_id -> cache key currently pinned by its live slot.
@@ -251,6 +264,8 @@ class BatchedSpecDecodeEngine:
         self._reports = []
         self._prefill_launches = 0
         self._prefill_saved = 0
+        self._prefill_tokens = 0
+        self._prefill_tokens_saved = 0
         self._draft_launches = 0
         self._draft_saved = 0
         self.events.clear()
@@ -316,6 +331,27 @@ class BatchedSpecDecodeEngine:
         :class:`~repro.cache.manager.KVCacheManager`.
         """
         return self._prefill_saved
+
+    @property
+    def prefill_tokens(self) -> int:
+        """Prompt tokens actually prefilled this session.
+
+        Each computed prompt is charged the suffix of its effective
+        context beyond what cached blocks covered (the full context
+        without a cache) — the token-granular cost the paged cache
+        shrinks even when launch counts tie.
+        """
+        return self._prefill_tokens
+
+    @property
+    def prefill_tokens_saved(self) -> int:
+        """Prompt tokens the prefill stage avoided computing.
+
+        Exact hits and same-wave duplicates save their whole effective
+        context; partial block reuse saves the covered prefix.  Always
+        0 without an attached cache.
+        """
+        return self._prefill_tokens_saved
 
     @property
     def draft_launches(self) -> int:
@@ -631,17 +667,22 @@ class BatchedSpecDecodeEngine:
     def _prefill(self, admitted: Sequence[SequenceSlot]) -> int:
         """Hand the drafter its hidden state for newly admitted slots.
 
-        All admissible prefixes are pushed through ONE batched target
+        All computed suffix rows are pushed through ONE batched target
         forward; returns the number of launches spent (0 or 1).
 
         With an attached :class:`~repro.cache.manager.KVCacheManager`
-        the stage computes **one prefill row per distinct prompt**:
-        exact-prompt cache hits are served a copy of the cached
-        hand-off (the hand-off is a pure function of the prompt, so
-        this is byte-identical to recomputing), same-wave duplicates —
-        a co-admitted GRPO group — share one leader row, and every
-        slot pins the entry it was served from so eviction can never
-        reach live state.
+        the stage consults the cache **once per distinct effective
+        context per wave** (same-wave duplicates — a co-admitted GRPO
+        group — ride their leader without touching hit/miss counters):
+        exact hits are served a copy of the cached hand-off, misses get
+        an :class:`~repro.cache.manager.AdmissionPlan` that reuses every
+        whole cached block of the shared prefix — including blocks
+        another leader of this wave is already computing — and prefill
+        only their suffix via :func:`suffix_prefill_hiddens`.  The
+        hand-off is a pure function of the effective context, so every
+        path is byte-identical to recomputing from scratch.  Computed
+        chains are inserted with per-boundary hand-offs, and every slot
+        pins its chain so eviction can never reach live state.
         """
         if not admitted:
             return 0
@@ -650,44 +691,65 @@ class BatchedSpecDecodeEngine:
             hiddens = initial_hiddens(
                 self.target, [slot.sequence for slot in admitted]
             )
+            window = self.target.config.context_window
             for slot, hidden in zip(admitted, hiddens):
                 slot.hidden = hidden
+                if hidden is not None:
+                    self._prefill_tokens += len(
+                        effective_prefill_context(slot.sequence, window)
+                    )
             self._prefill_launches += sum(
                 1 for h in hiddens if h is not None
             )
             return int(any(h is not None for h in hiddens))
         cycle = self.scheduler.cycle
-        keys = [tuple(slot.sequence) for slot in admitted]
+        keys = [cache.prefill_key(slot.sequence) for slot in admitted]
         hiddens = [None] * len(admitted)  # type: List[Optional[np.ndarray]]
         leaders: Dict[Tuple[int, ...], int] = {}
-        need: List[int] = []
+        computing: List[Tuple[int, int]] = []  # (slot index, compute_start)
+        pending: set = set()  # block prefixes being computed this wave
         for index, key in enumerate(keys):
-            if len(key) < 2:
+            if not key:
                 continue  # no hand-off exists for length-1 prefixes
             if key in leaders:
-                # Same-wave duplicate: rides the leader's prefill row
-                # (not a cache consultation — no hit/miss recorded).
+                # Same-wave duplicate: rides the leader's row (not a
+                # cache consultation — no hit/miss recorded, even when
+                # the leader itself was a hit).
                 self._prefill_saved += 1
+                self._prefill_tokens_saved += len(key)
                 continue
-            cached = cache.lookup(key, cycle)
-            if cached is not None:
-                hiddens[index] = cached
+            leaders[key] = index
+            plan = cache.plan_admission(
+                key, cycle, pending=frozenset(pending)
+            )
+            if plan.hidden is not None:
+                hiddens[index] = plan.hidden
                 self._prefill_saved += 1
+                self._prefill_tokens_saved += len(key)
             else:
-                leaders[key] = index
-                need.append(index)
-        if need:
-            computed = initial_hiddens(
-                self.target, [admitted[i].sequence for i in need]
+                computing.append((index, plan.compute_start))
+                self._prefill_launches += 1
+                self._prefill_tokens += len(key) - plan.compute_start
+                self._prefill_tokens_saved += plan.compute_start
+                for end in block_boundaries(len(key), cache.block_size):
+                    pending.add(key[:end])
+        if computing:
+            suffixes = suffix_prefill_hiddens(
+                self.target,
+                [keys[index] for index, _ in computing],
+                [start for _, start in computing],
             )
-            for index, hidden in zip(need, computed):
-                hiddens[index] = hidden
-            self._prefill_launches += sum(
-                1 for h in computed if h is not None
-            )
-            for index in need:
-                if hiddens[index] is not None:
-                    cache.insert(keys[index], hiddens[index], cycle)
+            for (index, _), positions in zip(computing, suffixes):
+                key = keys[index]
+                hiddens[index] = positions[len(key) - 1]
+                handoffs = {
+                    end: positions[end - 1]
+                    for end in block_boundaries(
+                        len(key), cache.block_size
+                    )
+                    if (end - 1) in positions
+                }
+                cache.insert_chain(key, handoffs, cycle)
         for index, key in enumerate(keys):
             if hiddens[index] is None and key in leaders:
                 leader_hidden = hiddens[leaders[key]]
@@ -697,9 +759,7 @@ class BatchedSpecDecodeEngine:
             slot.hidden = hidden
             if hidden is not None and cache.acquire(key):
                 self._cache_keys[slot.request.request_id] = key
-        return int(
-            any(hiddens[index] is not None for index in need)
-        )
+        return int(bool(computing))
 
     # -- prefix-cache ref lifecycle ----------------------------------------
 

@@ -246,7 +246,8 @@ class AdmissionView:
             is the in-flight prefix set).
         urgent: request ids in the urgent admission lane.
         cache: the engine's prefix cache, when one is attached (probe
-            with ``longest_prefix`` — non-accounting).
+            with ``covers_prompt``/``prompt_match`` — non-accounting,
+            and keyed on the prompt's effective context).
         cycle: the scheduler's cycle counter.
     """
 
@@ -379,14 +380,14 @@ class PrefixAwareAdmission(AdmissionPolicy):
 
         def shares(prompt: Tuple[int, ...]) -> bool:
             if self.min_shared is None:  # exact-reuse mode (default)
-                if view.cache is not None and view.cache.contains(
+                if view.cache is not None and view.cache.covers_prompt(
                     prompt
                 ):
                     return True
                 return any(anchor == prompt for anchor in anchors)
             if (
                 view.cache is not None
-                and view.cache.longest_prefix(prompt) >= self.min_shared
+                and view.cache.prompt_match(prompt) >= self.min_shared
             ):
                 return True
             return any(

@@ -111,6 +111,51 @@ def _initial_hidden(
     return initial_hiddens(target, [prefix])[0]
 
 
+def suffix_prefill_hiddens(
+    target: TinyLM,
+    contexts: Sequence[Sequence[int]],
+    starts: Sequence[int],
+) -> List[dict]:
+    """Target hidden stacks at every position of each context's suffix.
+
+    The paged-cache counterpart of :func:`initial_hiddens`: each
+    ``contexts[i]`` is an *effective prefill context* (already windowed
+    — at most ``context_window`` tokens, so every position sees its
+    full history) and ``starts[i]`` is the first position that must be
+    computed; positions before it are covered by cached blocks.  All
+    suffix rows of all contexts share ONE batched target forward.
+
+    Returns one dict per context mapping position ``t`` (``starts[i] <=
+    t < len(contexts[i])``) to the (num_layers, hidden_size) stack at
+    that position.  The final position's stack is byte-identical to
+    what :func:`initial_hiddens` computes for the corresponding prompt:
+    both run the target over the same trailing window.
+    """
+    if len(contexts) != len(starts):
+        raise ValueError(
+            f"contexts/starts length mismatch: "
+            f"{len(contexts)} vs {len(starts)}"
+        )
+    rows: List[List[int]] = []
+    owners: List[tuple] = []  # (context index, position)
+    for i, (tokens, start) in enumerate(zip(contexts, starts)):
+        tokens = list(tokens)
+        for t in range(max(start, 0), len(tokens)):
+            rows.append(tokens[: t + 1])
+            owners.append((i, t))
+    out: List[dict] = [{} for _ in contexts]
+    if not rows:
+        return out
+    row_contexts = contexts_from_sequences(
+        rows, target.config.context_window
+    )
+    _, hiddens = target.step(row_contexts)
+    stack = np.stack(hiddens, axis=1)  # (rows, L, d)
+    for row, (i, t) in enumerate(owners):
+        out[i][t] = stack[row].copy()
+    return out
+
+
 def speculative_generate(
     target: TinyLM,
     drafter: Drafter,

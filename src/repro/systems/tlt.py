@@ -117,6 +117,8 @@ class _AdaptiveSdSystem(RlSystem):
         strategy: Optional[SdStrategy] = None,
         admission: Optional[AdmissionPolicy] = None,
         kv_cache_tokens: Optional[int] = None,
+        kv_cache_block_size: Optional[int] = 8,
+        kv_cache_cold_tokens: int = 0,
     ) -> ServingEngine:
         """Online serving front-end mirroring this system's SD policy.
 
@@ -154,6 +156,10 @@ class _AdaptiveSdSystem(RlSystem):
                 co-admits shared-prefix requests; FIFO when omitted).
             kv_cache_tokens: per-worker prefix-cache capacity in
                 prompt tokens (no cache when omitted).
+            kv_cache_block_size: tokens per KV block (None = exact-
+                match mode, no partial-prefix reuse).
+            kv_cache_cold_tokens: COLD demotion-tier budget per worker
+                cache (0 = evict outright).
         """
         managers: List[AdaptiveSdManager] = []
         if strategy is None:
@@ -181,6 +187,8 @@ class _AdaptiveSdSystem(RlSystem):
             group_affinity=group_affinity,
             admission=admission,
             kv_cache_tokens=kv_cache_tokens,
+            kv_cache_block_size=kv_cache_block_size,
+            kv_cache_cold_tokens=kv_cache_cold_tokens,
         )
 
     def fleet_frontend(

@@ -171,7 +171,8 @@ class TestAdmissionPolicies:
 
     def test_prefix_aware_matches_against_live_and_cache(self):
         cache = KVCacheManager(capacity_tokens=64)
-        cache.insert((1, 13, 14, 15), np.zeros((2, 2)), cycle=0)
+        # The cache keys on the effective prefill context, p[:-1].
+        cache.insert((1, 13, 14), np.zeros((2, 2)), cycle=0)
         requests = _requests(
             [[5, 6, 7], [9, 10, 11], [13, 14, 15]]
         )
@@ -306,7 +307,7 @@ class TestEnginePrefixCache:
         # (neither hits EOS before the refcounts are asserted).
         engine.start(_requests(prompts, seed=1, max_new_tokens=64))
         engine.step()
-        key = (1, 5, 6, 7)  # BOS + prompt
+        key = (1, 5, 6)  # effective context of BOS + prompt
         assert cache.refcount(key) == 2
         engine.park(0)
         assert cache.refcount(key) == 1
@@ -354,9 +355,9 @@ class TestEnginePrefixCache:
         )
         engine.start(_requests([[5, 6, 7]], max_new_tokens=64))
         engine.step()
-        assert cache.refcount((1, 5, 6, 7)) == 1
+        assert cache.refcount((1, 5, 6)) == 1
         engine.cancel(0)
-        assert cache.refcount((1, 5, 6, 7)) == 0
+        assert cache.refcount((1, 5, 6)) == 0
 
 
 class _StubWorker:
