@@ -22,7 +22,10 @@ cache locality but never a committed token.
   arrival spills to the *second-warmest* replica for its prefix —
   cooler than the owner, warmest cache first — so one hot family's
   overflow lands on one overflow replica and pays its cold prefill
-  once (``warm_spill=False`` restores the least-loaded choice).  Ring
+  once (``warm_spill=False`` restores the least-loaded choice).  For
+  windowed models, ``context_window`` keys the ring on the prompt's
+  *effective prefill context* rather than its raw head, so
+  window-equivalent prompts co-locate (see the class docstring).  Ring
   membership follows the replica
   lifecycle via :meth:`RoutingPolicy.on_join` / :meth:`on_leave`, and
   every membership change audits how many previously-routed keys moved
@@ -39,6 +42,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.cache.blocks import effective_prefill_context
 from repro.errors import ConfigError, FleetError
 from repro.fleet.ring import ConsistentHashRing, prefix_key
 from repro.serving.request import ServingRequest
@@ -144,6 +148,20 @@ class PrefixHashRouting(RoutingPolicy):
             load-only spill scatters the family across every cool
             replica and pays the prefill on each.  False restores the
             load-only behaviour (the baseline the warmth test beats).
+        context_window: the served model's attention window.  When
+            set, the routing key is the leading ``prefix_len`` tokens
+            of the prompt's *effective prefill context*
+            (:func:`~repro.cache.blocks.effective_prefill_context`:
+            the trailing ``context_window`` tokens of ``prompt[:-1]``)
+            instead of the raw prompt head.  The raw head is the wrong
+            key for a windowed model twice over: prompts identical in
+            the effective window but differing in early tokens hash
+            apart (scattering a reuse that the per-replica cache —
+            which keys on the effective context — would have hit), and
+            prompts sharing only an early head the window has slid
+            past hash together (gluing traffic to one replica for a
+            reuse that cannot happen).  None (the default) preserves
+            raw-head keying for unwindowed models.
     """
 
     name = "prefix-hash"
@@ -156,11 +174,17 @@ class PrefixHashRouting(RoutingPolicy):
         spill_margin: int = 32,
         fallback: Optional[RoutingPolicy] = None,
         warm_spill: bool = True,
+        context_window: Optional[int] = None,
     ) -> None:
         super().__init__()
         if prefix_len < 1:
             raise ConfigError(
                 f"prefix_len must be >= 1, got {prefix_len}"
+            )
+        if context_window is not None and context_window < 1:
+            raise ConfigError(
+                f"context_window must be >= 1 when set, "
+                f"got {context_window}"
             )
         if spill_factor is not None and spill_factor < 1.0:
             raise ConfigError(
@@ -174,6 +198,7 @@ class PrefixHashRouting(RoutingPolicy):
         self.spill_factor = spill_factor
         self.spill_margin = spill_margin
         self.warm_spill = warm_spill
+        self.context_window = context_window
         self.fallback = fallback or FleetLeastLoaded()
         self.ring = ConsistentHashRing(vnodes=vnodes)
         #: Distinct keys routed so far — the audit set for measuring
@@ -208,13 +233,31 @@ class PrefixHashRouting(RoutingPolicy):
 
     # -- placement ---------------------------------------------------------
 
+    def routing_key(
+        self, prompt: Sequence[int]
+    ) -> Tuple[int, ...]:
+        """The ring key of ``prompt``.
+
+        Raw prompt head, or — with :attr:`context_window` set — the
+        head of the prompt's effective prefill context, the tokens a
+        windowed replica's cache can actually reuse.
+        """
+        if self.context_window is not None:
+            return prefix_key(
+                effective_prefill_context(
+                    prompt, self.context_window
+                ),
+                self.prefix_len,
+            )
+        return prefix_key(prompt, self.prefix_len)
+
     def choose(
         self, request: ServingRequest, replicas: Sequence
     ) -> int:
         self._validate(replicas)
         if not len(self.ring):
             return self.fallback.choose(request, replicas)
-        key = prefix_key(request.prompt, self.prefix_len)
+        key = self.routing_key(request.prompt)
         self._routed_keys.add(key)
         owner = self.ring.owner(key)
         by_id = {

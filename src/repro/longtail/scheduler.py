@@ -1,0 +1,473 @@
+"""Distribution-aware rollout scheduling over the shared serving pool.
+
+:class:`~repro.rl.serving_backend.ServingRolloutBackend` submits a GRPO
+rollout batch whole: every member arrives at once, workers admit in
+FIFO order, and the batch's makespan is set by whichever straggler was
+admitted *last* — the worst case the paper's long-tail analysis warns
+about.  :class:`RolloutScheduler` closes the gap with two moves the
+long-tail papers argue for (DARTS; "Beat the Long-Tail"):
+
+* **tail-first admission** — GRPO groups are decomposed and members
+  staged longest-predicted-first (the :class:`~repro.longtail.
+  predictor.LengthPredictor` supplies the estimate), so stragglers
+  claim slots at the *start* of the batch and short requests fill the
+  remaining capacity around them instead of queueing behind them;
+* **cross-batch pipelining** — staged requests of batch *k+1* are
+  released into slots freed by batch *k*'s stragglers, so the tail of
+  one batch overlaps the head of the next instead of draining into an
+  idle pool.  Delivery stays **group-complete**: :meth:`RolloutScheduler.
+  collect` hands the trainer batch *k* only when every member has
+  finished, in original submission order.
+
+The determinism contract is the subsystem's spine: per-request seeds
+are drawn from the trainer's generator **in prompt order at submit
+time** — before any sorting — and every request decodes from its own
+private stream, so tail-first staging, release timing, and pipelining
+reorder *work*, never randomness.  A FIFO run and a tail-first
+pipelined run of the same batches produce byte-identical per-request
+outputs; only the makespan moves.  (:class:`SchedulerMode` exists so
+the FIFO baseline runs through the *same* code path — same seed draws,
+same id allocation — making that comparison airtight.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigError, SchedulingError, ServingError
+from repro.llm.vocab import BOS_ID, EOS_ID
+from repro.longtail.predictor import LengthPredictor
+from repro.rl.rollout_backends import RolloutResult
+from repro.rl.serving_backend import group_tags
+from repro.serving.frontend import ServingEngine
+from repro.serving.request import (
+    BATCH,
+    RESOLVED_STATES,
+    ServingRequest,
+    SloClass,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.llm.model import TinyLM
+    from repro.rl.trainer import RlStepReport, RlTrainer
+
+
+class SchedulerMode(enum.Enum):
+    """How staged rollout requests reach the pool.
+
+    FIFO is the whole-group baseline (everything submitted at once, no
+    reorder, no cross-batch overlap — byte-for-byte the behaviour of
+    :class:`~repro.rl.serving_backend.ServingRolloutBackend`);
+    TAIL_FIRST stages members longest-predicted-first and releases
+    batch k+1 into capacity batch k's stragglers free up.
+    """
+
+    FIFO = "fifo"
+    TAIL_FIRST = "tail-first"
+
+
+@dataclass
+class _StagedRequest:
+    """One rollout member staged for release.
+
+    ``order`` is the member's index in its batch's original prompt
+    order (result assembly key); ``predicted`` the predictor's length
+    estimate the tail-first sort runs on.
+    """
+
+    request: ServingRequest
+    batch_id: int
+    order: int
+    predicted: int
+
+
+@dataclass
+class _Batch:
+    """Book-keeping for one submitted rollout batch."""
+
+    batch_id: int
+    prompts: List[List[int]]  # client token space (no BOS)
+    request_ids: List[int]  # in original prompt order
+    max_new_tokens: int
+    collected: bool = False
+
+
+@dataclass
+class SchedulerStats:
+    """Monotonic counters over the scheduler's lifetime.
+
+    Attributes:
+        batches_submitted: rollout batches staged.
+        batches_collected: batches delivered group-complete.
+        requests_released: staged requests actually submitted to the
+            pool.
+        pipelined_releases: requests released while an *earlier* batch
+            was still unresolved — the cross-batch overlap the
+            pipelining exists to create (always 0 in FIFO mode).
+        collect_ticks: pool ticks spent inside :meth:`RolloutScheduler.
+            collect` calls.
+    """
+
+    batches_submitted: int = 0
+    batches_collected: int = 0
+    requests_released: int = 0
+    pipelined_releases: int = 0
+    collect_ticks: int = 0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for benchmark rows."""
+        return {
+            "batches_submitted": float(self.batches_submitted),
+            "batches_collected": float(self.batches_collected),
+            "requests_released": float(self.requests_released),
+            "pipelined_releases": float(self.pipelined_releases),
+            "collect_ticks": float(self.collect_ticks),
+        }
+
+
+class RolloutScheduler:
+    """Tail-first, pipelined admission of GRPO rollouts to a pool.
+
+    Args:
+        engine: the shared serving pool (the same object online traffic
+            rides; rollouts enter as ``slo``-class requests through the
+            standard submit path, so the urgent lane and preemption
+            policy apply to them unchanged).
+        predictor: response-length estimator staged members are ranked
+            by; a fresh default-configured one is built when omitted.
+            The scheduler feeds every collected batch's observed
+            lengths back, closing the estimator's loop.
+        mode: :class:`SchedulerMode` (TAIL_FIRST unless benchmarking
+            the FIFO baseline).
+        slo: SLO class rollout requests carry (BATCH — preemptible
+            background traffic).
+        group_size: GRPO group size for exact group tagging; inferred
+            from identical consecutive prompts when omitted.
+        segment_of: optional prompt -> segment labeller; tagged
+            requests get per-segment acceptance counters and
+            segment-affinity dispatch (the drafter-zoo hooks).
+        max_ticks: safety bound on pool ticks per collect.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        predictor: Optional[LengthPredictor] = None,
+        mode: SchedulerMode = SchedulerMode.TAIL_FIRST,
+        slo: SloClass = BATCH,
+        group_size: Optional[int] = None,
+        segment_of: Optional[
+            Callable[[Sequence[int]], Optional[str]]
+        ] = None,
+        max_ticks: int = 1_000_000,
+    ) -> None:
+        if slo.deadline is not None:
+            raise ConfigError(
+                "rollout requests must not carry a deadline: an "
+                "expired rollout would silently corrupt the GRPO group"
+            )
+        if group_size is not None and group_size < 1:
+            raise ConfigError(
+                f"group_size must be >= 1, got {group_size}"
+            )
+        if max_ticks < 1:
+            raise ConfigError(
+                f"max_ticks must be >= 1, got {max_ticks}"
+            )
+        self.engine = engine
+        self.predictor = predictor or LengthPredictor()
+        self.mode = mode
+        self.slo = slo
+        self.group_size = group_size
+        self.segment_of = segment_of
+        self.max_ticks = max_ticks
+        self.stats = SchedulerStats()
+        self._staged: List[_StagedRequest] = []
+        self._batches: Dict[int, _Batch] = {}
+        self._next_batch_id = 0
+
+    # -- submission --------------------------------------------------------
+
+    def submit_batch(
+        self,
+        policy: "TinyLM",
+        prompts: Sequence[Sequence[int]],
+        max_new_tokens: int,
+        temperature: float,
+        rng: np.random.Generator,
+    ) -> int:
+        """Stage one GRPO rollout batch; returns its batch id.
+
+        Seeds are drawn from ``rng`` in **prompt order** before any
+        staging decision — exactly the draw
+        :class:`~repro.rl.serving_backend.ServingRolloutBackend` makes
+        — so the scheduler's reordering cannot touch any request's
+        random stream, and a caller alternating ``sample_prompts`` /
+        ``submit_batch`` consumes the trainer RNG in the same order as
+        the in-line loop.
+
+        In FIFO mode the whole batch is submitted to the pool
+        immediately (whole-group baseline); in TAIL_FIRST mode members
+        are staged longest-predicted-first and released by
+        :meth:`pump` / :meth:`collect` as capacity allows.
+        """
+        if max_new_tokens < 1:
+            raise ConfigError(
+                f"max_new_tokens must be >= 1, got {max_new_tokens}"
+            )
+        served = self.engine.workers[0].engine
+        if served.target is not policy:
+            raise ConfigError(
+                "the serving pool must serve the policy being trained "
+                "(same object); build the pool over the trainer's "
+                "policy"
+            )
+        if served.temperature != temperature:
+            raise ConfigError(
+                f"pool temperature {served.temperature} != rollout "
+                f"temperature {temperature}; rollouts would be sampled "
+                "off-distribution"
+            )
+        # THE ordering contract: seeds in prompt order, before staging.
+        seeds = rng.integers(
+            0, np.iinfo(np.int64).max, size=len(prompts)
+        )
+        ids = self.engine.allocate_request_ids(len(prompts))
+        tags = group_tags(prompts, self.group_size)
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        prompt_lists = [[int(t) for t in p] for p in prompts]
+        staged: List[_StagedRequest] = []
+        for order, (prompt, seed, request_id, tag) in enumerate(
+            zip(prompt_lists, seeds, ids, tags)
+        ):
+            predicted = self.predictor.predict(
+                prompt, cap=max_new_tokens
+            )
+            staged.append(
+                _StagedRequest(
+                    request=ServingRequest(
+                        request_id=request_id,
+                        prompt=prompt,
+                        max_new_tokens=max_new_tokens,
+                        arrival_time=self.engine.clock.now,
+                        slo=self.slo,
+                        predicted_length=predicted,
+                        seed=int(seed),
+                        group=ids.start + tag,
+                        segment=(
+                            self.segment_of(prompt)
+                            if self.segment_of is not None
+                            else None
+                        ),
+                    ),
+                    batch_id=batch_id,
+                    order=order,
+                    predicted=predicted,
+                )
+            )
+        self._batches[batch_id] = _Batch(
+            batch_id=batch_id,
+            prompts=prompt_lists,
+            request_ids=list(ids),
+            max_new_tokens=max_new_tokens,
+        )
+        self.stats.batches_submitted += 1
+        if self.mode is SchedulerMode.FIFO:
+            # Whole-group baseline: everything arrives at once, in
+            # prompt order, exactly like ServingRolloutBackend.
+            for item in staged:
+                self._release(item)
+        else:
+            # Tail first: stragglers claim slots before short members.
+            staged.sort(key=lambda s: (-s.predicted, s.request.request_id))
+            self._staged.extend(staged)
+            self.pump()
+        return batch_id
+
+    # -- release machinery -------------------------------------------------
+
+    def pump(self) -> int:
+        """Release staged requests into current pool headroom.
+
+        Headroom is the pool's free live slots minus what is already
+        queued on workers — releasing more than that would just move
+        the queue from the scheduler into the workers (and ahead of
+        any later urgent traffic).  Returns the number released.
+        Callers need not invoke this directly: :meth:`collect` pumps
+        before every tick; it is public for callers driving the pool's
+        clock themselves (a co-located serving trace).
+        """
+        if not self._staged:
+            return 0
+        headroom = sum(
+            worker.free_slots - worker.num_waiting
+            for worker in self.engine.workers
+        )
+        released = 0
+        while self._staged and released < headroom:
+            self._release(self._staged.pop(0))
+            released += 1
+        return released
+
+    def _release(self, item: _StagedRequest) -> None:
+        """Submit one staged request to the pool, arriving now."""
+        item.request.arrival_time = self.engine.clock.now
+        self.engine.submit(item.request)
+        self.stats.requests_released += 1
+        if any(
+            batch.batch_id < item.batch_id and not batch.collected
+            for batch in self._batches.values()
+        ):
+            self.stats.pipelined_releases += 1
+
+    # -- delivery ----------------------------------------------------------
+
+    def collect(self, batch_id: int) -> RolloutResult:
+        """Tick the pool until ``batch_id`` is complete; deliver it.
+
+        Group-complete delivery in original prompt order — the trainer
+        sees exactly what the FIFO backend would have handed it (byte-
+        identical responses; only the makespan moved).  Observed
+        response lengths are fed back to the predictor before
+        returning, so the next batch's staging uses them.
+        """
+        batch = self._batches.get(batch_id)
+        if batch is None:
+            raise SchedulingError(f"unknown batch id {batch_id}")
+        if batch.collected:
+            raise SchedulingError(
+                f"batch {batch_id} was already collected"
+            )
+        engine = self.engine
+        steps_before = sum(
+            w.engine.target_steps for w in engine.workers
+        )
+        ticks = 0
+        while any(
+            # Staged-first: an unreleased member has no pool record yet.
+            i in self._staged_ids()
+            or engine.records[i].state not in RESOLVED_STATES
+            for i in batch.request_ids
+        ):
+            if ticks >= self.max_ticks:
+                raise ServingError(
+                    f"rollout batch {batch_id} did not drain within "
+                    f"{self.max_ticks} pool ticks"
+                )
+            self.pump()
+            engine.tick()
+            ticks += 1
+        self.stats.collect_ticks += ticks
+        batch.collected = True
+        self.stats.batches_collected += 1
+
+        records = [engine.records[i] for i in batch.request_ids]
+        dead = [
+            r.request.request_id for r in records if not r.finished
+        ]
+        if dead:
+            raise ServingError(
+                f"rollout requests {dead} were cancelled or expired "
+                "mid-batch; the GRPO group is incomplete"
+            )
+        responses = [list(r.response) for r in records]
+        self.predictor.observe_batch(
+            batch.prompts, [max(1, len(r)) for r in responses]
+        )
+        pool_steps = (
+            sum(w.engine.target_steps for w in engine.workers)
+            - steps_before
+        )
+        return RolloutResult(
+            prompts=[
+                ([BOS_ID] + list(r.request.prompt))
+                if engine.add_bos else list(r.request.prompt)
+                for r in records
+            ],
+            responses=responses,
+            finished=[
+                bool(r) and r[-1] == EOS_ID for r in responses
+            ],
+            target_steps=pool_steps,
+            stats={
+                "pool_target_steps": float(pool_steps),
+                "collect_ticks": float(ticks),
+                "preemptions": float(
+                    sum(r.preemptions for r in records)
+                ),
+                "rollout_tokens": float(
+                    sum(len(r) for r in responses)
+                ),
+                "pipelined_releases": float(
+                    self.stats.pipelined_releases
+                ),
+            },
+        )
+
+    def _staged_ids(self) -> frozenset:
+        """Request ids still held back by the scheduler."""
+        return frozenset(
+            item.request.request_id for item in self._staged
+        )
+
+    @property
+    def pending_batches(self) -> List[int]:
+        """Uncollected batch ids in submission order."""
+        return sorted(
+            batch_id
+            for batch_id, batch in self._batches.items()
+            if not batch.collected
+        )
+
+
+def run_pipelined_steps(
+    trainer: "RlTrainer",
+    scheduler: RolloutScheduler,
+    num_steps: int,
+    lookahead: int = 1,
+) -> List["RlStepReport"]:
+    """Drive ``num_steps`` RL steps with pipelined rollouts.
+
+    Keeps up to ``lookahead`` extra batches staged ahead of the one
+    being trained on: while batch *k*'s stragglers decode, batch
+    *k+1*'s short requests are already filling the freed slots, and
+    batch *k* is still delivered group-complete before its update runs.
+    Trainer RNG order is preserved — ``sample_prompts`` and the
+    scheduler's in-prompt-order seed draw alternate exactly as the
+    in-line loop's calls would — so the *requests* are identical to
+    sequential stepping; a looked-ahead batch *is* rolled out under a
+    policy that is up to ``lookahead`` updates stale, the classic
+    async-RL freshness trade the caller opts into (``lookahead=0``
+    degenerates to fully-synchronous stepping).
+
+    Returns the per-step reports.
+    """
+    if num_steps < 1:
+        raise ConfigError(f"num_steps must be >= 1, got {num_steps}")
+    if lookahead < 0:
+        raise ConfigError(f"lookahead must be >= 0, got {lookahead}")
+    config = trainer.config
+    in_flight: List = []  # (batch_id, PromptBatch)
+    submitted = 0
+    reports: List["RlStepReport"] = []
+    for _ in range(num_steps):
+        while submitted < num_steps and len(in_flight) < lookahead + 1:
+            prompts = trainer.sample_prompts()
+            batch_id = scheduler.submit_batch(
+                trainer.policy,
+                prompts.expanded,
+                config.max_new_tokens,
+                config.temperature,
+                trainer.rng,
+            )
+            in_flight.append((batch_id, prompts))
+            submitted += 1
+        batch_id, prompts = in_flight.pop(0)
+        rollout = scheduler.collect(batch_id)
+        reports.append(trainer.step(rollout=rollout, prompts=prompts))
+    return reports

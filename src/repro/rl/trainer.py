@@ -150,19 +150,62 @@ class RlTrainer:
 
     # -- public API ----------------------------------------------------------
 
-    def step(self) -> RlStepReport:
-        """Run one full RL step and return its report."""
+    def sample_prompts(self) -> PromptBatch:
+        """Draw one step's prompt batch from the trainer's RNG.
+
+        The scheduler seam: an external rollout scheduler
+        (:class:`~repro.longtail.scheduler.RolloutScheduler`) samples
+        the prompts here — consuming the trainer's RNG in exactly the
+        order :meth:`step` would — runs the rollout its own way
+        (tail-first, pipelined across steps), and hands the finished
+        :class:`~repro.rl.rollout_backends.RolloutResult` back through
+        ``step(rollout=..., prompts=...)``.  Because prompt sampling
+        and the backend's per-request seed draws are the only RNG
+        consumers in the rollout stage, a scheduler that preserves this
+        call order reproduces the in-line step byte-for-byte.
+        """
         config = self.config
-        batch = make_prompt_batch(
+        return make_prompt_batch(
             self.task, config.num_prompts, config.group_size, self.rng
         )
-        rollout = self.backend.generate(
-            self.policy,
-            batch.expanded,
-            config.max_new_tokens,
-            config.temperature,
-            self.rng,
-        )
+
+    def step(
+        self,
+        rollout: Optional[RolloutResult] = None,
+        prompts: Optional[PromptBatch] = None,
+    ) -> RlStepReport:
+        """Run one full RL step and return its report.
+
+        Args:
+            rollout: pre-computed rollout to train on (the scheduler
+                seam).  When omitted, the trainer samples prompts and
+                runs its backend in-line (the original closed loop).
+                Must be provided together with ``prompts`` — the
+                prompt batch the rollout was generated from.
+            prompts: the :class:`~repro.workload.prompts.PromptBatch`
+                matching ``rollout`` (from :meth:`sample_prompts`).
+        """
+        config = self.config
+        if (rollout is None) != (prompts is None):
+            raise ConfigError(
+                "step() needs rollout and prompts together (or neither)"
+            )
+        if rollout is None:
+            batch = self.sample_prompts()
+            rollout = self.backend.generate(
+                self.policy,
+                batch.expanded,
+                config.max_new_tokens,
+                config.temperature,
+                self.rng,
+            )
+        else:
+            batch = prompts
+            if len(rollout.responses) != len(batch.expanded):
+                raise ConfigError(
+                    f"injected rollout has {len(rollout.responses)} "
+                    f"responses for {len(batch.expanded)} prompts"
+                )
         self.last_rollout = rollout
 
         rewards = self.task.reward_batch(batch.expanded, rollout.responses)

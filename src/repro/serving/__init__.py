@@ -28,6 +28,7 @@ from repro.serving.dispatch import (
     PreemptionPolicy,
     PrefixAffinityDispatch,
     RoundRobinDispatch,
+    SegmentAffinityDispatch,
     SloPreemption,
     steal_work,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "PreemptionPolicy",
     "PrefixAffinityDispatch",
     "PreemptionAwareDispatch",
+    "SegmentAffinityDispatch",
     "SloPreemption",
     "steal_work",
     "ServingEngine",

@@ -206,6 +206,49 @@ class PrefixAffinityDispatch(DispatchPolicy):
         )
 
 
+class SegmentAffinityDispatch(DispatchPolicy):
+    """Route segment-tagged arrivals to their segment's home worker.
+
+    The dispatch-side half of the drafter zoo: each worker can host a
+    drafter specialized for one workload segment, and the zoo maintains
+    the ``segment_worker`` placement map this policy routes by (the
+    mapping object is shared — the zoo mutates it, dispatch reads it).
+    Requests whose segment has no home worker, and untagged requests,
+    fall through to the ``fallback`` policy (least-loaded when
+    omitted).
+
+    Because every request carries its own seeded random stream and
+    speculative decoding is lossless, segment routing — like every
+    other policy here — changes latency and *acceptance rates*, never
+    the committed tokens.
+
+    Args:
+        segment_worker: live segment -> worker-index map (shared with
+            whoever maintains the placement, e.g.
+            :class:`~repro.longtail.zoo.DrafterZoo`).
+        fallback: policy for unmapped or untagged arrivals.
+    """
+
+    name = "segment-affinity"
+
+    def __init__(
+        self,
+        segment_worker: dict,
+        fallback: Optional[DispatchPolicy] = None,
+    ) -> None:
+        self.segment_worker = segment_worker
+        self.fallback = fallback or LeastLoadedDispatch()
+
+    def choose(self, request: ServingRequest, workers: Sequence) -> int:
+        self._validate(workers)
+        segment = getattr(request, "segment", None)
+        if segment is not None:
+            index = self.segment_worker.get(segment)
+            if index is not None and 0 <= index < len(workers):
+                return index
+        return self.fallback.choose(request, workers)
+
+
 class PreemptionAwareDispatch(DispatchPolicy):
     """Route urgent arrivals where preemption will be cheapest.
 

@@ -566,9 +566,15 @@ class ServingEngine:
         self._arrivals: List[Tuple[float, int]] = []  # heap
         self._deadlines: List[Tuple[float, int]] = []  # heap
         self.stolen = 0
-        self._swap_drafter: Optional[Drafter] = None
-        self._swap_queue: Deque[int] = deque()
+        #: Pending drafter swaps: (worker_id, drafter, part_of_roll).
+        #: One entry is applied per tick — at most one worker is
+        #: mid-swap at any time, whether the entries come from a
+        #: pool-wide roll or targeted per-worker publications.
+        self._swap_queue: Deque[Tuple[int, Drafter, bool]] = deque()
         self.drafter_swaps = 0
+        #: Targeted per-worker swaps applied (the drafter-zoo refresh
+        #: path), counted separately from pool-wide rolls.
+        self.worker_swaps = 0
         self.group_affinity = group_affinity
         self._group_worker: Dict[int, int] = {}
         self._group_pending: Dict[int, int] = {}
@@ -697,6 +703,41 @@ class ServingEngine:
         while a roll is in progress restarts the roll with the newest
         drafter (latest publication wins).
         """
+        self._validate_swap(drafter)
+        # A new pool-wide roll supersedes everything queued — including
+        # targeted per-worker swaps, which the roll's newer publication
+        # would overwrite anyway.
+        self._swap_queue = deque(
+            (worker_id, drafter, True)
+            for worker_id in range(len(self.workers))
+        )
+
+    def swap_worker_drafter(
+        self, worker_id: int, drafter: Drafter
+    ) -> None:
+        """Queue a drafter swap for ONE worker (next tick boundary).
+
+        The drafter-zoo publication path: each worker can host a
+        drafter specialized for the workload segment routed to it, and
+        a refreshed specialist reaches its worker without touching the
+        rest of the pool.  Swaps queue behind any in-progress roll and
+        apply one per tick (same zero-downtime guarantee as the pool
+        roll); a second swap queued for the same worker before the
+        first applies replaces it (latest publication wins).
+        """
+        self._validate_swap(drafter)
+        if not 0 <= worker_id < len(self.workers):
+            raise ServingError(
+                f"worker_id {worker_id} out of range "
+                f"({len(self.workers)} workers)"
+            )
+        self._swap_queue = deque(
+            entry for entry in self._swap_queue
+            if entry[2] or entry[0] != worker_id
+        )
+        self._swap_queue.append((worker_id, drafter, False))
+
+    def _validate_swap(self, drafter: Drafter) -> None:
         # Fail fast at the call site: deferring validation to the per-
         # tick roll would raise out of a later tick()/run(), stranding
         # live requests mid-trace.
@@ -708,8 +749,6 @@ class ServingEngine:
             raise ServingError(
                 f"drafter {drafter.name!r} does not support hot swap"
             )
-        self._swap_drafter = drafter
-        self._swap_queue = deque(range(len(self.workers)))
 
     @property
     def swap_in_progress(self) -> bool:
@@ -867,6 +906,25 @@ class ServingEngine:
         """Aggregate the current records into a report."""
         capacity = self.workers[0].capacity
         caches = [w.engine.kv_cache for w in self.workers]
+        # Join each engine's per-request draft/accept counters with the
+        # request's segment tag: per-segment acceptance is the signal
+        # the drafter zoo's bandit (and its scoreboard) reads.
+        segment_accepted: Dict[str, int] = {}
+        segment_drafted: Dict[str, int] = {}
+        for worker in self.workers:
+            engine = worker.engine
+            for request_id, accepted in engine.request_accepted.items():
+                record = self.records.get(request_id)
+                if record is None or record.request.segment is None:
+                    continue
+                segment = record.request.segment
+                segment_accepted[segment] = (
+                    segment_accepted.get(segment, 0) + accepted
+                )
+                segment_drafted[segment] = (
+                    segment_drafted.get(segment, 0)
+                    + engine.request_drafted.get(request_id, 0)
+                )
         return ServingReport(
             records=[
                 self.records[request_id]
@@ -926,6 +984,8 @@ class ServingEngine:
                 0 if cache is None else cache.stats.cold_evictions
                 for cache in caches
             ],
+            segment_accepted=segment_accepted,
+            segment_drafted=segment_drafted,
         )
 
     # -- internals ---------------------------------------------------------
@@ -940,15 +1000,16 @@ class ServingEngine:
         )
 
     def _roll_swap(self) -> None:
-        """Advance an in-progress rolling drafter swap by one worker."""
+        """Apply one pending drafter swap (pool roll or targeted)."""
         if not self._swap_queue:
             return
-        assert self._swap_drafter is not None
-        worker_id = self._swap_queue.popleft()
-        self.workers[worker_id].swap_drafter(self._swap_drafter)
-        if not self._swap_queue:
-            self.drafter_swaps += 1
-            self._swap_drafter = None
+        worker_id, drafter, part_of_roll = self._swap_queue.popleft()
+        self.workers[worker_id].swap_drafter(drafter)
+        if part_of_roll:
+            if not any(entry[2] for entry in self._swap_queue):
+                self.drafter_swaps += 1
+        else:
+            self.worker_swaps += 1
 
     def _resume_parked(self) -> None:
         """Resume parked requests on workers with capacity to spare.

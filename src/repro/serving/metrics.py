@@ -165,6 +165,10 @@ class ServingReport:
         worker_cache_cold_hits: touches served by a COLD-tier block.
         worker_cache_cold_evictions: blocks dropped out of the COLD
             tier entirely.
+        segment_accepted: draft tokens accepted per workload segment
+            (segment-tagged requests only — see
+            :attr:`~repro.serving.request.ServingRequest.segment`).
+        segment_drafted: draft tokens proposed per workload segment.
     """
 
     records: List[RequestRecord]
@@ -187,6 +191,8 @@ class ServingReport:
     worker_cache_promotions: List[int] = field(default_factory=list)
     worker_cache_cold_hits: List[int] = field(default_factory=list)
     worker_cache_cold_evictions: List[int] = field(default_factory=list)
+    segment_accepted: Dict[str, int] = field(default_factory=dict)
+    segment_drafted: Dict[str, int] = field(default_factory=dict)
 
     # -- slices ------------------------------------------------------------
 
@@ -347,6 +353,25 @@ class ServingReport:
     def cache_cold_evictions(self) -> int:
         """Blocks dropped out of the COLD tier across the pool."""
         return sum(self.worker_cache_cold_evictions)
+
+    @property
+    def segment_acceptance(self) -> Dict[str, float]:
+        """Per-segment draft-token acceptance rate.
+
+        Accepted over drafted for every segment-tagged request —
+        the drafter-zoo scoreboard's headline: a specialist drafter
+        routed to its segment should beat the shared drafter's rate
+        on that same segment's traffic.  Segments that drafted
+        nothing report 0.0.
+        """
+        return {
+            segment: (
+                self.segment_accepted.get(segment, 0) / drafted
+                if drafted
+                else 0.0
+            )
+            for segment, drafted in sorted(self.segment_drafted.items())
+        }
 
     @property
     def draft_launches(self) -> int:

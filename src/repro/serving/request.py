@@ -159,6 +159,12 @@ class ServingRequest:
             (``group_affinity``) — grouped rollouts share their prompt
             by construction, which is what prefix-cache-aware admission
             will exploit.  None means ungrouped (ordinary traffic).
+        segment: optional workload-segment label (length/prompt family).
+            Segment-tagged requests get per-segment acceptance counters
+            on :class:`~repro.serving.metrics.ServingReport`, and
+            segment-affinity dispatch can route them to the worker
+            hosting the drafter specialized for the segment (the
+            drafter-zoo path).  None means unsegmented.
     """
 
     request_id: int
@@ -169,6 +175,7 @@ class ServingRequest:
     predicted_length: Optional[int] = None
     seed: int = 0
     group: Optional[int] = None
+    segment: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_new_tokens < 1:

@@ -236,6 +236,12 @@ class BatchedSpecDecodeEngine:
         self._cache_keys: Dict[int, Tuple[int, ...]] = {}
         #: request_id -> cache key released at park, awaiting resume.
         self._parked_keys: Dict[int, Tuple[int, ...]] = {}
+        #: Per-request draft/accept token counters for the open session
+        #: (request_id -> tokens).  The serving report joins these with
+        #: each request's segment tag for per-segment acceptance rates —
+        #: the signal the drafter zoo's bandit learns from.
+        self.request_accepted: Dict[int, int] = {}
+        self.request_drafted: Dict[int, int] = {}
 
     # -- incremental session API -------------------------------------------
 
@@ -268,6 +274,8 @@ class BatchedSpecDecodeEngine:
         self._prefill_tokens_saved = 0
         self._draft_launches = 0
         self._draft_saved = 0
+        self.request_accepted = {}
+        self.request_drafted = {}
         self.events.clear()
 
     @property
@@ -533,6 +541,17 @@ class BatchedSpecDecodeEngine:
             assert strategy is not None
             cycle_stats = self._sd_cycle(live, strategy, self._metrics)
             self._target_steps += 1
+            # cycle_stats is parallel to `live`: charge each request its
+            # own drafted/accepted tokens (per-segment acceptance feeds
+            # off these through the serving report).
+            for slot, stats in zip(live, cycle_stats):
+                rid = slot.request.request_id
+                self.request_accepted[rid] = (
+                    self.request_accepted.get(rid, 0) + stats.accepted
+                )
+                self.request_drafted[rid] = (
+                    self.request_drafted.get(rid, 0) + stats.drafted
+                )
             if self.sd_manager is not None:
                 # Cost proxy: rows pushed through the target plus
                 # drafter steps.  Deterministic (unlike wall-clock,

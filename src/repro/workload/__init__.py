@@ -35,10 +35,14 @@ from repro.workload.scenarios import (
     flash_crowd_trace,
 )
 from repro.workload.traces import (
+    PromptFamily,
+    SegmentedGrpoTrace,
     TraceStep,
     TrainingTrace,
     fleet_trace,
     mixed_serving_trace,
+    segment_families,
+    segmented_grpo_trace,
     shared_prefix_trace,
     synthesize_trace,
 )
@@ -57,6 +61,10 @@ __all__ = [
     "make_prompt_batch",
     "TraceStep",
     "TrainingTrace",
+    "PromptFamily",
+    "SegmentedGrpoTrace",
+    "segment_families",
+    "segmented_grpo_trace",
     "synthesize_trace",
     "fleet_trace",
     "mixed_serving_trace",

@@ -21,16 +21,27 @@ prefixes (system-prompt / few-shot-template reuse), each optionally
 extended with a per-request suffix — the workload where
 prefix-affinity dispatch and prefix-aware admission pay off outside
 grouped rollouts.
+
+:func:`segmented_grpo_trace` shapes the *rollout* side for the
+long-tail subsystem (``repro.longtail``): GRPO batches whose groups
+are drawn from a handful of prompt **families**, each family sampling
+its tokens from a disjoint slice of the vocabulary — distinct task
+populations with distinct continuation statistics, so response
+lengths are family-conditioned (the signal the
+:class:`~repro.longtail.predictor.LengthPredictor` learns) and
+segment-specialist drafters have something to specialize *on* (the
+signal the :class:`~repro.longtail.zoo.DrafterZoo` exploits).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.llm.vocab import NUM_SPECIAL_TOKENS
 from repro.workload.lengths import (
     LengthModel,
     LognormalLengths,
@@ -435,4 +446,182 @@ def fleet_trace(
     return sorted(
         stream + floor,
         key=lambda r: (r.arrival_time, r.request_id),
+    )
+
+
+@dataclass(frozen=True)
+class PromptFamily:
+    """One task population: prompts drawn from a private token slice.
+
+    Disjoint slices are the whole point — a prompt's very first token
+    identifies its family (the :meth:`SegmentedGrpoTrace.segment_of`
+    labeller rides that), and a drafter trained on one family's slice
+    has genuinely different statistics from its siblings.
+
+    Attributes:
+        name: segment label requests from this family carry.
+        lo / hi: token ids drawn from ``[lo, hi)``.
+        prompt_len: tokens per prompt.
+    """
+
+    name: str
+    lo: int
+    hi: int
+    prompt_len: int = 4
+
+    def __post_init__(self) -> None:
+        if not NUM_SPECIAL_TOKENS <= self.lo < self.hi:
+            raise ConfigError(
+                f"family {self.name!r} needs "
+                f"{NUM_SPECIAL_TOKENS} <= lo < hi, "
+                f"got [{self.lo}, {self.hi})"
+            )
+        if self.prompt_len < 1:
+            raise ConfigError(
+                f"family {self.name!r}: prompt_len must be >= 1"
+            )
+
+    def sample_prompt(self, rng: np.random.Generator) -> List[int]:
+        """One prompt from this family's token slice."""
+        return [
+            int(t)
+            for t in rng.integers(self.lo, self.hi, size=self.prompt_len)
+        ]
+
+
+def segment_families(
+    vocab_size: int,
+    num_families: int,
+    prompt_len: int = 4,
+) -> List["PromptFamily"]:
+    """Partition the regular-token range into disjoint prompt families.
+
+    The regular range ``[NUM_SPECIAL_TOKENS, vocab_size)`` is split
+    into ``num_families`` contiguous, non-overlapping slices named
+    ``"seg0" .. "segN"``.  Disjointness is what makes the family
+    recoverable from any prompt token.
+    """
+    span = vocab_size - NUM_SPECIAL_TOKENS
+    if num_families < 1:
+        raise ConfigError(
+            f"num_families must be >= 1, got {num_families}"
+        )
+    if span < num_families:
+        raise ConfigError(
+            f"vocab_size {vocab_size} has only {span} regular tokens; "
+            f"cannot carve {num_families} disjoint families"
+        )
+    bounds = np.linspace(
+        NUM_SPECIAL_TOKENS, vocab_size, num_families + 1
+    ).astype(int)
+    return [
+        PromptFamily(
+            name=f"seg{i}",
+            lo=int(bounds[i]),
+            hi=int(bounds[i + 1]),
+            prompt_len=prompt_len,
+        )
+        for i in range(num_families)
+    ]
+
+
+@dataclass
+class SegmentedGrpoTrace:
+    """A straggler-heavy segmented rollout trace (the longtail input).
+
+    Attributes:
+        families: the disjoint prompt families.
+        batches: per RL step, the *expanded* GRPO prompt list
+            (group-major: each group's prompt repeated ``group_size``
+            times) — exactly the shape :meth:`~repro.longtail.
+            scheduler.RolloutScheduler.submit_batch` takes.
+        group_size: members per GRPO group.
+    """
+
+    families: List[PromptFamily]
+    batches: List[List[List[int]]] = field(default_factory=list)
+    group_size: int = 1
+
+    def segment_of(self, prompt: "List[int]") -> Optional[str]:
+        """Family label of a prompt (``None`` when unrecognised).
+
+        Keyed on the first token — families own disjoint slices, so
+        one token suffices.  This is the callable handed to the
+        scheduler's ``segment_of`` hook and the zoo's segment list.
+        """
+        if not prompt:
+            return None
+        head = int(prompt[0])
+        for family in self.families:
+            if family.lo <= head < family.hi:
+                return family.name
+        return None
+
+    @property
+    def segments(self) -> List[str]:
+        """Segment labels in family order (the zoo's segment list)."""
+        return [family.name for family in self.families]
+
+
+def segmented_grpo_trace(
+    rng: np.random.Generator,
+    vocab_size: int,
+    num_batches: int,
+    groups_per_batch: int,
+    group_size: int,
+    num_families: int = 3,
+    prompt_len: int = 4,
+) -> SegmentedGrpoTrace:
+    """Synthesize the long-tail rollout workload.
+
+    Each batch holds ``groups_per_batch`` GRPO groups; group *g* is
+    drawn from family ``g % num_families`` (round-robin, so every
+    batch exercises every segment — the zoo's bandits all see traffic
+    every round), and the group's prompt is repeated ``group_size``
+    times, as grouped rollouts are by construction.
+
+    Straggler-heaviness needs no extra knob: group members share a
+    prompt but decode from private seeded streams, so each member's
+    length is its own draw from the family's EOS-hazard process — the
+    group's makespan is the *max* of ``group_size`` draws, and the
+    batch's makespan the max over all members.  Families sampling
+    different token slices condition that hazard differently, which is
+    the per-family length signal the predictor learns.
+
+    Args:
+        rng: master generator (one seed fixes the whole trace).
+        vocab_size: vocabulary size families partition.
+        num_batches: RL steps' worth of prompt batches.
+        groups_per_batch: GRPO groups per batch.
+        group_size: members per group.
+        num_families: disjoint prompt families (= workload segments).
+        prompt_len: tokens per prompt.
+
+    Returns:
+        A :class:`SegmentedGrpoTrace` (batches + segment labeller).
+    """
+    if num_batches < 1:
+        raise ConfigError(
+            f"num_batches must be >= 1, got {num_batches}"
+        )
+    if groups_per_batch < 1:
+        raise ConfigError(
+            f"groups_per_batch must be >= 1, got {groups_per_batch}"
+        )
+    if group_size < 1:
+        raise ConfigError(
+            f"group_size must be >= 1, got {group_size}"
+        )
+    families = segment_families(
+        vocab_size, num_families, prompt_len=prompt_len
+    )
+    batches: List[List[List[int]]] = []
+    for _ in range(num_batches):
+        expanded: List[List[int]] = []
+        for g in range(groups_per_batch):
+            prompt = families[g % len(families)].sample_prompt(rng)
+            expanded.extend(list(prompt) for _ in range(group_size))
+        batches.append(expanded)
+    return SegmentedGrpoTrace(
+        families=families, batches=batches, group_size=group_size
     )

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.cache.blocks import effective_prefill_context
 from repro.errors import ConfigError, FleetError
 from repro.fleet import ConsistentHashRing, PrefixHashRouting, prefix_key
 
@@ -158,3 +159,88 @@ class TestRoutingStabilityUnderFailure:
         assert moved > 0
         # The audit counter saw exactly the victim's keys move.
         assert routing.ring_moves == moved
+
+
+class _Req:
+    def __init__(self, prompt, request_id=0):
+        self.prompt = prompt
+        self.request_id = request_id
+
+
+class TestWindowedRoutingKey:
+    """Regression: with a windowed model the ring must key on the
+    effective prefill context, not the raw prompt head — raw-head
+    hashing scatters window-equivalent prompts across replicas."""
+
+    WINDOW = 4
+
+    def _routing(self, **kwargs):
+        routing = PrefixHashRouting(
+            prefix_len=4, spill_factor=None, **kwargs
+        )
+        for replica_id in range(4):
+            routing.on_join(replica_id)
+        return routing
+
+    def test_key_is_the_effective_context_head(self):
+        routing = self._routing(context_window=self.WINDOW)
+        prompt = [1, 2, 3, 10, 11, 12, 13, 99]
+        assert routing.routing_key(prompt) == prefix_key(
+            effective_prefill_context(prompt, self.WINDOW), 4
+        )
+        # Default (no window) preserves raw-head keying.
+        assert self._routing().routing_key(prompt) == (1, 2, 3, 10)
+
+    def test_window_equivalent_prompts_colocate(self):
+        """Prompts identical in the effective window but with
+        different early tokens must land on the same replica."""
+        routing = self._routing(context_window=self.WINDOW)
+        replicas = [_StubReplica(i) for i in range(4)]
+        rng = np.random.default_rng(11)
+        scattered = 0
+        for _ in range(100):
+            tail = [int(t) for t in rng.integers(3, 200, size=5)]
+            head_a = [int(t) for t in rng.integers(3, 200, size=3)]
+            head_b = [int(t) for t in rng.integers(3, 200, size=6)]
+            a, b = head_a + tail, head_b + tail
+            assert effective_prefill_context(
+                a, self.WINDOW
+            ) == effective_prefill_context(b, self.WINDOW)
+            if routing.choose(_Req(a), replicas) != routing.choose(
+                _Req(b), replicas
+            ):
+                scattered += 1
+        assert scattered == 0
+
+    def test_raw_head_keying_scatters_the_same_pairs(self):
+        """The bug being fixed: without the window the same pairs
+        hash apart (sanity that the fix changes behaviour)."""
+        routing = self._routing()
+        replicas = [_StubReplica(i) for i in range(4)]
+        rng = np.random.default_rng(11)
+        scattered = 0
+        for _ in range(100):
+            tail = [int(t) for t in rng.integers(3, 200, size=5)]
+            head_a = [int(t) for t in rng.integers(3, 200, size=3)]
+            head_b = [int(t) for t in rng.integers(3, 200, size=6)]
+            if routing.choose(
+                _Req(head_a + tail), replicas
+            ) != routing.choose(_Req(head_b + tail), replicas):
+                scattered += 1
+        assert scattered > 25
+
+    def test_stale_shared_head_prompts_split(self):
+        """Prompts sharing only a head the window has slid past are
+        keyed by their (distinct) windows, not glued together."""
+        routing = self._routing(context_window=self.WINDOW)
+        head = [50, 51, 52, 53]
+        a = head + [60, 61, 62, 63, 64]
+        b = head + [70, 71, 72, 73, 74]
+        assert routing.routing_key(a) != routing.routing_key(b)
+        # Raw-head keying would have fused them.
+        raw = self._routing()
+        assert raw.routing_key(a) == raw.routing_key(b)
+
+    def test_context_window_validation(self):
+        with pytest.raises(ConfigError):
+            PrefixHashRouting(context_window=0)

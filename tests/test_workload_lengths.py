@@ -12,7 +12,10 @@ from repro.workload import (
     EmpiricalLengths,
     LognormalLengths,
     ParetoLengths,
+    PromptFamily,
     length_statistics,
+    segment_families,
+    segmented_grpo_trace,
     synthesize_trace,
 )
 from repro.workload.lengths import tail_fraction
@@ -85,6 +88,28 @@ class TestEmpirical:
         sample = model.sample(np.random.default_rng(0), 50)
         assert sample.max() <= 100
 
+    def test_single_observation_is_degenerate(self):
+        """One observed length resamples to exactly that length —
+        the edge a trace replay hits on a one-request trace."""
+        model = EmpiricalLengths([7], cap=100)
+        sample = model.sample(np.random.default_rng(0), 64)
+        assert sample.shape == (64,)
+        assert set(np.unique(sample)) == {7}
+        assert model.max_length == 100
+
+    def test_single_observation_clipped_by_cap(self):
+        model = EmpiricalLengths([500], cap=100)
+        sample = model.sample(np.random.default_rng(0), 16)
+        assert set(np.unique(sample)) == {100}
+
+    def test_zero_length_observation_raises(self):
+        with pytest.raises(ConfigError):
+            EmpiricalLengths([5, 0], cap=10)
+
+    def test_zero_count_sample(self):
+        model = EmpiricalLengths([5], cap=10)
+        assert model.sample(np.random.default_rng(0), 0).size == 0
+
 
 class TestStatistics:
     def test_keys(self):
@@ -102,6 +127,30 @@ class TestStatistics:
     def test_tail_fraction_validation(self):
         with pytest.raises(ConfigError):
             tail_fraction([1], 0.0)
+        with pytest.raises(ConfigError):
+            tail_fraction([1], 1.5)
+
+    def test_tail_fraction_empty_raises(self):
+        with pytest.raises(ConfigError):
+            tail_fraction([])
+
+    def test_constant_lengths(self):
+        """Constant input: no spread, no gap.  Every request clears a
+        fractional threshold (all are "the max"), and the strict `>`
+        means none clears threshold_ratio=1.0 — the tail indicator's
+        two degenerate readings."""
+        stats = length_statistics([8, 8, 8, 8])
+        assert stats["max"] == stats["p50"] == stats["mean"] == 8.0
+        assert stats["q3_max_gap"] == 0.0
+        assert tail_fraction([8, 8, 8, 8], 0.5) == 1.0
+        assert tail_fraction([8, 8, 8, 8], 1.0) == 0.0
+
+    def test_single_length(self):
+        stats = length_statistics([42])
+        assert stats["max"] == 42.0
+        assert stats["q3_max_gap"] == 0.0
+        assert tail_fraction([42], 0.5) == 1.0
+        assert tail_fraction([42], 1.0) == 0.0
 
 
 class TestTrace:
@@ -148,3 +197,85 @@ class TestTrace:
     def test_validation(self):
         with pytest.raises(ConfigError):
             synthesize_trace(0, np.random.default_rng(0))
+
+
+class TestSegmentedGrpoTrace:
+    def _trace(self, **kwargs):
+        defaults = dict(
+            vocab_size=24,
+            num_batches=3,
+            groups_per_batch=6,
+            group_size=4,
+            num_families=3,
+        )
+        defaults.update(kwargs)
+        return segmented_grpo_trace(
+            np.random.default_rng(5), **defaults
+        )
+
+    def test_families_partition_the_regular_range(self):
+        families = segment_families(24, 3, prompt_len=4)
+        assert [f.name for f in families] == ["seg0", "seg1", "seg2"]
+        # Contiguous, disjoint, covering [NUM_SPECIAL_TOKENS, vocab).
+        assert families[0].lo == 3
+        assert families[-1].hi == 24
+        for a, b in zip(families, families[1:]):
+            assert a.hi == b.lo
+
+    def test_batch_shape_and_group_structure(self):
+        trace = self._trace()
+        assert len(trace.batches) == 3
+        for batch in trace.batches:
+            assert len(batch) == 6 * 4
+            # Group members share a prompt (GRPO by construction).
+            for g in range(6):
+                group = batch[g * 4:(g + 1) * 4]
+                assert all(p == group[0] for p in group)
+
+    def test_segment_of_recovers_the_family(self):
+        trace = self._trace()
+        seen = set()
+        for batch in trace.batches:
+            for prompt in batch:
+                label = trace.segment_of(prompt)
+                assert label in trace.segments
+                family = trace.families[
+                    trace.segments.index(label)
+                ]
+                assert all(
+                    family.lo <= t < family.hi for t in prompt
+                )
+                seen.add(label)
+        # Round-robin: every batch exercises every segment.
+        assert seen == set(trace.segments)
+
+    def test_segment_of_unknown(self):
+        trace = self._trace()
+        assert trace.segment_of([]) is None
+        assert trace.segment_of([0]) is None  # special token
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            segment_families(24, 0)
+        with pytest.raises(ConfigError):
+            segment_families(5, 10)  # more families than tokens
+        with pytest.raises(ConfigError):
+            PromptFamily(name="x", lo=2, hi=1)
+        with pytest.raises(ConfigError):
+            PromptFamily(name="x", lo=5, hi=9, prompt_len=0)
+        with pytest.raises(ConfigError):
+            segmented_grpo_trace(
+                rng, 24, num_batches=0,
+                groups_per_batch=1, group_size=1,
+            )
+        with pytest.raises(ConfigError):
+            segmented_grpo_trace(
+                rng, 24, num_batches=1,
+                groups_per_batch=0, group_size=1,
+            )
+        with pytest.raises(ConfigError):
+            segmented_grpo_trace(
+                rng, 24, num_batches=1,
+                groups_per_batch=1, group_size=0,
+            )
